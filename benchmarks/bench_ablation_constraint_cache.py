@@ -1,0 +1,88 @@
+"""Ablation: constraint caching and its reconstruction after job transfer (§6).
+
+KLEE's constraint caches "can significantly improve solver performance"; in
+Cloud9 "states are transferred between workers without the source worker's
+cache", and the paper observes that "the necessary portion of the cache is
+mostly reconstructed as a side effect of path replay".
+
+This ablation measures both statements on the printf workload:
+
+* the same exploration budget is run with the solver caches enabled and
+  disabled, comparing solver search effort;
+* a path explored on one "worker" is replayed on a fresh executor (empty
+  caches, as after a transfer), and the destination's cache hit rate during
+  continued exploration is reported.
+"""
+
+from repro.cluster.replay import replay_path
+from repro.engine import SymbolicExecutor
+from repro.solver.solver import Solver, SolverConfig
+from repro.targets import printf
+
+from conftest import print_table, run_once
+
+STEP_BUDGET = 1200
+FORMAT_LENGTH = 3
+
+
+def _explore(use_caches: bool):
+    test = printf.make_symbolic_test(format_length=FORMAT_LENGTH)
+    solver = Solver(SolverConfig(use_constraint_cache=use_caches,
+                                 use_counterexample_cache=use_caches))
+    executor = SymbolicExecutor(test.program, solver=solver)
+    executor.run(initial_state=lambda: executor.make_initial_state(),
+                 strategy="interleaved", max_steps=STEP_BUDGET)
+    return solver
+
+
+def _replay_rebuilds_cache():
+    """Explore on a source executor, replay one deep path on a destination."""
+    test = printf.make_symbolic_test(format_length=FORMAT_LENGTH)
+    source = SymbolicExecutor(test.program)
+    result = source.run(initial_state=lambda: source.make_initial_state(),
+                        strategy="dfs", max_steps=400)
+    # Pick the longest completed path as the "transferred job".
+    fork_traces = [tc.fork_trace for tc in source.test_cases if tc.fork_trace]
+    if not fork_traces:
+        return 0.0, result
+    path = max(fork_traces, key=len)
+
+    destination = SymbolicExecutor(test.program)
+    replay_path(destination, lambda ex: ex.make_initial_state(), list(path))
+    stats = destination.solver.cache_stats
+    return stats["constraint_cache_hit_rate"], result
+
+
+def _run_experiment():
+    with_cache = _explore(use_caches=True)
+    without_cache = _explore(use_caches=False)
+    replay_hit_rate, _ = _replay_rebuilds_cache()
+
+    rows = [
+        ("caches enabled: solver queries", with_cache.stats.queries),
+        ("caches enabled: search steps", with_cache.stats.search_steps),
+        ("caches enabled: cache hits", with_cache.stats.cache_hits),
+        ("caches disabled: solver queries", without_cache.stats.queries),
+        ("caches disabled: search steps", without_cache.stats.search_steps),
+        ("caches disabled: cache hits", without_cache.stats.cache_hits),
+        ("destination cache hit rate after replay",
+         "%.1f%%" % (100.0 * replay_hit_rate)),
+    ]
+    return with_cache, without_cache, replay_hit_rate, rows
+
+
+def test_ablation_constraint_caches(benchmark):
+    with_cache, without_cache, replay_hit_rate, rows = run_once(
+        benchmark, _run_experiment)
+    print_table(
+        "Ablation -- constraint caches on/off and cache reconstruction by replay",
+        ["quantity", "value"],
+        rows)
+
+    # Shape: with caches on, the solver resolves a meaningful share of
+    # queries from its caches and does no more search work than without.
+    # (The recent-model fast path stays on in both configurations, so the
+    # disabled run may still record some hits; the persistent caches are what
+    # this ablation toggles.)
+    assert with_cache.stats.cache_hits > 0
+    assert with_cache.stats.search_steps <= without_cache.stats.search_steps

@@ -1,0 +1,75 @@
+#!/usr/bin/env python3
+"""Quickstart: write a symbolic test and run it on one engine and on a cluster.
+
+The program under test parses a tiny "command packet": a 4-byte buffer whose
+first byte selects an operation.  The symbolic test marks the whole packet
+symbolic, so a single test covers every possible packet, and the engine
+generates one concrete test case per explored path -- including the one that
+triggers the (deliberate) division-by-zero-style assertion failure.
+
+Run with:  python examples/quickstart.py
+"""
+
+from repro import lang as L
+from repro.cluster import ClusterConfig
+from repro.testing import SymbolicTest
+
+
+def build_program() -> L.Program:
+    """A toy packet handler with a bug on one specific input."""
+    handle = L.func(
+        "handle", ["pkt", "n"],
+        L.if_(L.lt(L.var("n"), 2), [L.ret(0xFFFFFFFF)]),
+        L.decl("op", L.index(L.var("pkt"), 0)),
+        L.decl("arg", L.index(L.var("pkt"), 1)),
+        L.if_(L.eq(L.var("op"), ord("a")), [L.ret(L.add(L.var("arg"), 1))]),
+        L.if_(L.eq(L.var("op"), ord("s")), [L.ret(L.sub(L.var("arg"), 1))]),
+        L.if_(L.eq(L.var("op"), ord("d")), [
+            # BUG: the handler asserts the argument is non-zero instead of
+            # checking it -- symbolic execution finds the failing input.
+            L.assert_(L.ne(L.var("arg"), 0), "division by zero in 'd' command"),
+            L.ret(L.div(100, L.var("arg"))),
+        ]),
+        L.ret(0),
+    )
+    main = L.func(
+        "main", [],
+        L.decl("pkt", L.call("cloud9_symbolic_buffer", 4, L.strconst("packet"))),
+        L.ret(L.call("handle", L.var("pkt"), 4)),
+    )
+    return L.program("quickstart", handle, main)
+
+
+def main() -> None:
+    test = SymbolicTest("quickstart", build_program())
+
+    print("=== single-engine run (plain KLEE / 1-worker Cloud9) ===")
+    single = test.run_single()
+    print("paths explored:   %d" % single.paths_completed)
+    print("line coverage:    %.1f%%" % single.coverage_percent)
+    print("bugs found:       %d" % len(single.bugs))
+    for bug in single.bugs:
+        print("  -", bug.summary())
+        if bug.test_case is not None:
+            print("    reproducer packet:", bug.test_case.input_bytes("packet"))
+    print("generated test cases:")
+    for case in single.test_cases[:8]:
+        print("  packet=%-18r exit=%s%s" % (
+            case.input_bytes("packet"), case.exit_code,
+            "  [error path]" if case.is_error else ""))
+
+    print()
+    print("=== 4-worker Cloud9 cluster run ===")
+    cluster_result = test.run_cluster(
+        num_workers=4,
+        cluster_config=ClusterConfig(num_workers=4, instructions_per_round=100),
+    )
+    print("paths explored:   %d" % cluster_result.paths_completed)
+    print("virtual rounds:   %d" % cluster_result.rounds_executed)
+    print("states moved:     %d (job transfers between workers)"
+          % cluster_result.total_states_transferred)
+    print("bugs found:       %s" % ", ".join(cluster_result.bug_summaries()))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,12 @@
+"""Setuptools shim.
+
+The environment this reproduction targets has no network access and no
+``wheel`` package, so PEP 517 editable installs are unavailable; this file
+enables the legacy path::
+
+    pip install -e . --no-use-pep517 --no-build-isolation
+"""
+
+from setuptools import setup
+
+setup()

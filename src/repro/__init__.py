@@ -1,0 +1,67 @@
+"""Cloud9 reproduction: parallel symbolic execution for automated software testing.
+
+This package reproduces the system described in "Parallel Symbolic Execution
+for Automated Real-World Software Testing" (Bucur, Ureche, Zamfir, Candea --
+EuroSys 2011) as a pure-Python library:
+
+* :mod:`repro.solver`  -- bitvector constraint solving substrate.
+* :mod:`repro.lang`    -- the small imperative language of programs under test.
+* :mod:`repro.engine`  -- the single-node symbolic execution engine (KLEE analogue).
+* :mod:`repro.posix`   -- the symbolic POSIX environment model (§4).
+* :mod:`repro.cluster` -- cluster-parallel exploration with dynamic load
+  balancing (§3), the paper's core contribution.
+* :mod:`repro.testing` -- the symbolic-test platform API (§5).
+* :mod:`repro.targets` -- models of the real-world systems evaluated in §7
+  (memcached, lighttpd, printf, test, curl, Coreutils, Bandicoot, and a
+  producer-consumer benchmark).
+
+Quickstart::
+
+    from repro import lang as L
+    from repro.testing import SymbolicTest
+
+    program = L.program("demo",
+        L.func("main", [],
+            L.decl("buf", L.call("cloud9_symbolic_buffer", 2, L.strconst("input"))),
+            L.if_(L.eq(L.index(L.var("buf"), 0), ord("!")), [L.ret(1)], [L.ret(0)]),
+        ),
+    )
+    test = SymbolicTest("demo", program)
+    print(test.run_single().paths_completed)        # 2 paths
+    print(test.run_cluster(num_workers=4).paths_completed)
+"""
+
+from repro import cluster, engine, lang, posix, solver, testing
+from repro.cluster import Cloud9Cluster, ClusterConfig, ClusterResult
+from repro.engine import (
+    BugKind,
+    BugReport,
+    EngineConfig,
+    ExplorationResult,
+    SymbolicExecutor,
+    TestCase,
+)
+from repro.testing import SymbolicTest, SymbolicTestSuite
+
+__version__ = "0.1.0"
+
+__all__ = [
+    "cluster",
+    "engine",
+    "lang",
+    "posix",
+    "solver",
+    "testing",
+    "Cloud9Cluster",
+    "ClusterConfig",
+    "ClusterResult",
+    "BugKind",
+    "BugReport",
+    "EngineConfig",
+    "ExplorationResult",
+    "SymbolicExecutor",
+    "TestCase",
+    "SymbolicTest",
+    "SymbolicTestSuite",
+    "__version__",
+]

@@ -1,0 +1,46 @@
+"""Cluster-parallel symbolic execution (the paper's core contribution, §3).
+
+The package reproduces Cloud9's dynamic partitioning of the symbolic
+execution tree across shared-nothing workers:
+
+* :mod:`repro.cluster.jobs` -- jobs encoded as root-to-node paths, aggregated
+  into prefix-sharing job trees for transfer.
+* :mod:`repro.cluster.worker` -- worker nodes: local subtree, exploration
+  frontier (candidate nodes), job export/import, lazy replay of virtual
+  nodes, fence bookkeeping.
+* :mod:`repro.cluster.replay` -- path replay and broken-replay detection.
+* :mod:`repro.cluster.load_balancer` -- the queue-length-based balancing
+  policy (mean +/- delta*sigma classification and pairing).
+* :mod:`repro.cluster.overlay` -- the global coverage bit-vector overlay.
+* :mod:`repro.cluster.transport` -- the simulated shared-nothing network.
+* :mod:`repro.cluster.coordinator` -- the round-based cluster runtime and
+  the public :class:`Cloud9Cluster` front end.
+* :mod:`repro.cluster.static_partition` -- the static-partitioning baseline
+  the paper argues against (§2, §8), used by the ablation benchmarks.
+* :mod:`repro.cluster.stats` -- instruction/transfer/coverage timelines used
+  by the evaluation harness.
+"""
+
+from repro.cluster.coordinator import Cloud9Cluster, ClusterConfig, ClusterResult
+from repro.cluster.jobs import Job, JobTree
+from repro.cluster.load_balancer import LoadBalancer, TransferCommand
+from repro.cluster.overlay import CoverageOverlay
+from repro.cluster.static_partition import StaticPartitionCluster, StaticPartitionConfig
+from repro.cluster.stats import ClusterTimeline, WorkerStats
+from repro.cluster.worker import Worker
+
+__all__ = [
+    "Cloud9Cluster",
+    "ClusterConfig",
+    "ClusterResult",
+    "Job",
+    "JobTree",
+    "LoadBalancer",
+    "TransferCommand",
+    "CoverageOverlay",
+    "StaticPartitionCluster",
+    "StaticPartitionConfig",
+    "ClusterTimeline",
+    "WorkerStats",
+    "Worker",
+]

@@ -1,0 +1,293 @@
+"""The cluster runtime: workers, load balancer and virtual time.
+
+The paper's prototype runs workers on separate machines and measures wall
+clock.  This reproduction runs the same protocol on a simulated fabric with a
+*virtual clock*: time advances in rounds, every worker executes up to a fixed
+instruction budget per round, status updates and balancing happen on their
+configured intervals, and all timeline metrics (useful work, queue lengths,
+state transfers, coverage) are recorded per round.  The scalability
+experiments then compare rounds-to-goal and useful-work-per-round across
+cluster sizes, which is exactly the shape of Figures 7-13.
+
+An optional thread-backed runner for wall-clock parallelism is provided in
+:mod:`repro.cluster.threaded`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence, Set, Tuple
+
+from repro.cluster.load_balancer import LoadBalancer, TransferCommand
+from repro.cluster.stats import ClusterTimeline, RoundSnapshot, WorkerStats
+from repro.cluster.transport import LOAD_BALANCER_ID, Message, MessageKind, Transport
+from repro.cluster.worker import Worker
+from repro.engine.errors import BugReport
+from repro.engine.executor import SymbolicExecutor
+from repro.engine.state import ExecutionState
+from repro.engine.test_case import TestCase
+
+ExecutorFactory = Callable[[], SymbolicExecutor]
+StateFactory = Callable[[SymbolicExecutor], ExecutionState]
+
+
+@dataclass
+class ClusterConfig:
+    """Configuration of a simulated Cloud9 cluster."""
+
+    num_workers: int = 2
+    instructions_per_round: int = 500
+    status_update_interval: int = 1
+    balance_interval: int = 1
+    delta: float = 1.0
+    min_transfer: int = 1
+    strategy: str = "interleaved"
+    load_balancing_enabled: bool = True
+    # Disable load balancing from this round on (None = never): Fig. 13.
+    disable_balancing_after_round: Optional[int] = None
+    transport_delay_rounds: int = 0
+    max_rounds: int = 10_000
+
+    def __post_init__(self) -> None:
+        if self.num_workers < 1:
+            raise ValueError("a cluster needs at least one worker")
+        if self.instructions_per_round < 1:
+            raise ValueError("instructions_per_round must be positive")
+
+
+@dataclass
+class ClusterResult:
+    """Summary and timeline of one cluster run."""
+
+    num_workers: int
+    rounds_executed: int = 0
+    exhausted: bool = False
+    goal_reached: bool = False
+    paths_completed: int = 0
+    total_useful_instructions: int = 0
+    total_replay_instructions: int = 0
+    coverage_percent: float = 0.0
+    covered_lines: Set[int] = field(default_factory=set)
+    line_count: int = 0
+    bugs: List[BugReport] = field(default_factory=list)
+    test_cases: List[TestCase] = field(default_factory=list)
+    worker_stats: Dict[int, WorkerStats] = field(default_factory=dict)
+    timeline: ClusterTimeline = field(default_factory=ClusterTimeline)
+    total_states_transferred: int = 0
+    transfer_commands: int = 0
+    messages_sent: int = 0
+
+    @property
+    def useful_instructions_per_worker(self) -> float:
+        if not self.num_workers:
+            return 0.0
+        return self.total_useful_instructions / self.num_workers
+
+    @property
+    def replay_overhead(self) -> float:
+        total = self.total_useful_instructions + self.total_replay_instructions
+        return self.total_replay_instructions / total if total else 0.0
+
+    def rounds_to_coverage(self, target_percent: float) -> Optional[int]:
+        return self.timeline.rounds_to_coverage(target_percent)
+
+    def bug_summaries(self) -> List[str]:
+        return sorted({b.summary() for b in self.bugs})
+
+
+def _dedupe_bugs(bugs: Sequence[BugReport]) -> List[BugReport]:
+    seen: Set[Tuple[object, ...]] = set()
+    unique: List[BugReport] = []
+    for bug in bugs:
+        key = (bug.kind, bug.message, bug.function, bug.line)
+        if key not in seen:
+            seen.add(key)
+            unique.append(bug)
+    return unique
+
+
+class Cloud9Cluster:
+    """The public front end: build a cluster and run a symbolic-testing goal."""
+
+    def __init__(self, executor_factory: ExecutorFactory,
+                 state_factory: StateFactory,
+                 config: Optional[ClusterConfig] = None):
+        self.config = config or ClusterConfig()
+        self.executor_factory = executor_factory
+        self.state_factory = state_factory
+        self.transport = Transport(self.config.transport_delay_rounds)
+        self.workers: List[Worker] = []
+        self.load_balancer: Optional[LoadBalancer] = None
+        self._build()
+
+    # -- construction ------------------------------------------------------------------
+
+    def _build(self) -> None:
+        program_line_count = None
+        for index in range(self.config.num_workers):
+            worker_id = index + 1
+            executor = self.executor_factory()
+            if program_line_count is None:
+                program_line_count = executor.program.line_count
+            worker = Worker(worker_id, executor, self.state_factory,
+                            strategy_name=self.config.strategy)
+            self.workers.append(worker)
+        self.load_balancer = LoadBalancer(
+            line_count=program_line_count or 0,
+            delta=self.config.delta,
+            min_transfer=self.config.min_transfer)
+        for worker in self.workers:
+            self.load_balancer.register_worker(worker.worker_id)
+        # The first worker to join receives the seed job (§3.1).
+        self.workers[0].seed()
+
+    # -- helpers -----------------------------------------------------------------------
+
+    def _balancing_active(self, round_index: int) -> bool:
+        if not self.config.load_balancing_enabled:
+            return False
+        cutoff = self.config.disable_balancing_after_round
+        if cutoff is not None and round_index >= cutoff:
+            return False
+        return True
+
+    def _total_candidates(self) -> int:
+        return sum(w.queue_length for w in self.workers)
+
+    def _all_covered_lines(self) -> Set[int]:
+        covered: Set[int] = set()
+        for worker in self.workers:
+            covered.update(worker.executor.covered_lines)
+        return covered
+
+    # -- main loop -----------------------------------------------------------------------
+
+    def run(self, max_rounds: Optional[int] = None,
+            target_coverage_percent: Optional[float] = None,
+            max_paths: Optional[int] = None,
+            stop_on_first_bug: bool = False) -> ClusterResult:
+        """Run rounds until exhaustion, a goal, or the round budget."""
+        config = self.config
+        limit = max_rounds if max_rounds is not None else config.max_rounds
+        line_count = self.workers[0].executor.program.line_count
+        result = ClusterResult(num_workers=config.num_workers,
+                               line_count=line_count)
+
+        round_index = 0
+        while round_index < limit:
+            balancing = self._balancing_active(round_index)
+            self.transport.advance_round()
+
+            # 1. Deliver pending messages (job transfers, coverage, requests).
+            states_transferred = 0
+            for worker in self.workers:
+                states_transferred += worker.handle_messages(self.transport)
+
+            # 2. Explore for one round of virtual time.
+            useful_before = sum(w.stats.useful_instructions for w in self.workers)
+            replay_before = sum(w.stats.replay_instructions for w in self.workers)
+            for worker in self.workers:
+                if worker.has_work:
+                    worker.explore(config.instructions_per_round)
+            useful_delta = sum(w.stats.useful_instructions for w in self.workers) - useful_before
+            replay_delta = sum(w.stats.replay_instructions for w in self.workers) - replay_before
+
+            # 3. Status updates to the LB and balancing decisions.
+            if round_index % config.status_update_interval == 0:
+                for worker in self.workers:
+                    worker.send_status(self.transport, round_index)
+                for message in self.transport.receive_all(LOAD_BALANCER_ID):
+                    if message.kind != MessageKind.STATUS_UPDATE:
+                        continue
+                    merged_bits = self.load_balancer.receive_status(
+                        worker_id=message.sender,
+                        queue_length=int(message.payload["queue_length"]),
+                        useful_instructions=int(message.payload["useful_instructions"]),
+                        coverage_bits=int(message.payload["coverage_bits"]),
+                        round_index=round_index)
+                    self.transport.send(Message(
+                        kind=MessageKind.COVERAGE_UPDATE,
+                        sender=LOAD_BALANCER_ID,
+                        recipient=message.sender,
+                        payload={"coverage_bits": merged_bits}))
+            if balancing and round_index % config.balance_interval == 0:
+                for command in self.load_balancer.balance(round_index):
+                    result.transfer_commands += 1
+                    self.transport.send(Message(
+                        kind=MessageKind.TRANSFER_REQUEST,
+                        sender=LOAD_BALANCER_ID,
+                        recipient=command.source,
+                        payload={"destination": command.destination,
+                                 "job_count": command.job_count}))
+
+            # 4. Record the round.
+            covered = self._all_covered_lines()
+            coverage_percent = 100.0 * len(covered) / line_count if line_count else 0.0
+            paths_completed = sum(w.paths_completed for w in self.workers)
+            bugs_found = sum(len(w.bugs) for w in self.workers)
+            result.timeline.record(RoundSnapshot(
+                round_index=round_index,
+                queue_lengths={w.worker_id: w.queue_length for w in self.workers},
+                total_candidates=self._total_candidates(),
+                states_transferred=states_transferred,
+                useful_instructions=useful_delta,
+                replay_instructions=replay_delta,
+                covered_lines=len(covered),
+                coverage_percent=coverage_percent,
+                paths_completed=paths_completed,
+                bugs_found=bugs_found,
+                load_balancing_enabled=balancing,
+            ))
+            result.total_states_transferred += states_transferred
+            round_index += 1
+
+            # 5. Termination checks.
+            if target_coverage_percent is not None and coverage_percent >= target_coverage_percent:
+                result.goal_reached = True
+                break
+            if max_paths is not None and paths_completed >= max_paths:
+                result.goal_reached = True
+                break
+            if stop_on_first_bug and bugs_found:
+                result.goal_reached = True
+                break
+            if self._total_candidates() == 0 and self.transport.work_idle:
+                result.exhausted = True
+                break
+
+        return self._finalize(result, round_index)
+
+    def _finalize(self, result: ClusterResult, rounds: int) -> ClusterResult:
+        result.rounds_executed = rounds
+        result.paths_completed = sum(w.paths_completed for w in self.workers)
+        result.total_useful_instructions = sum(
+            w.stats.useful_instructions for w in self.workers)
+        result.total_replay_instructions = sum(
+            w.stats.replay_instructions for w in self.workers)
+        result.covered_lines = self._all_covered_lines()
+        result.coverage_percent = (100.0 * len(result.covered_lines) / result.line_count
+                                   if result.line_count else 0.0)
+        all_bugs: List[BugReport] = []
+        for worker in self.workers:
+            all_bugs.extend(worker.bugs)
+            result.test_cases.extend(worker.test_cases)
+            result.worker_stats[worker.worker_id] = worker.stats
+        result.bugs = _dedupe_bugs(all_bugs)
+        result.messages_sent = self.transport.messages_sent
+        return result
+
+    # -- invariants (used by the test suite) -------------------------------------------------
+
+    def check_frontier_invariants(self) -> Tuple[bool, str]:
+        """Disjointness of worker frontiers (§3.2 Summary): no path is a
+        candidate on two workers at once.  (Completeness is checked by the
+        integration tests by comparing explored paths against a single-node
+        exhaustive run.)"""
+        seen: Dict[Tuple[int, ...], int] = {}
+        for worker in self.workers:
+            for path in worker.frontier_paths():
+                if path in seen:
+                    return False, ("path %s is a candidate on workers %d and %d"
+                                   % (path, seen[path], worker.worker_id))
+                seen[path] = worker.worker_id
+        return True, ""

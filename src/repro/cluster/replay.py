@@ -1,0 +1,102 @@
+"""Path replay: materializing virtual nodes received in jobs.
+
+Section 3.2: when a strategy selects a virtual node, "the corresponding path
+in the job tree is replayed (i.e., the symbolic execution engine executes
+that path); at the end of this replay, all nodes along the path are dead,
+except the leaf node, which has converted from virtual to materialized [...]
+while exploring the chosen job path, each branch produces child program
+states; any such state that is not part of the path is marked as a fence
+node, because it represents a node that is being explored elsewhere".
+
+Section 6 ("Broken Replays"): a replay is *broken* when the destination
+cannot reconstruct the state -- the path diverges or terminates prematurely.
+The per-state deterministic allocator and deterministic symbol naming make
+this rare, but the code still detects and reports it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, List, Optional, Sequence, Tuple
+
+from repro.engine.executor import SymbolicExecutor
+from repro.engine.state import ExecutionState
+
+
+@dataclass
+class ReplayOutcome:
+    """Result of replaying one job path."""
+
+    state: Optional[ExecutionState]
+    instructions: int = 0
+    steps: int = 0
+    broken: bool = False
+    reason: str = ""
+    # Off-path sibling states discovered during replay, as (path, state); they
+    # correspond to subtrees being explored elsewhere and become fence nodes.
+    fence_states: List[Tuple[Tuple[int, ...], ExecutionState]] = field(default_factory=list)
+
+    @property
+    def succeeded(self) -> bool:
+        return not self.broken and self.state is not None
+
+
+def replay_path(executor: SymbolicExecutor,
+                state_factory: Callable[[SymbolicExecutor], ExecutionState],
+                path: Sequence[int],
+                max_steps: int = 1_000_000) -> ReplayOutcome:
+    """Re-execute a root-to-node path and return the materialized state."""
+    outcome = ReplayOutcome(state=None)
+    state = state_factory(executor)
+    remaining = list(path)
+    prefix: List[int] = []
+
+    while remaining:
+        if not state.is_running:
+            outcome.broken = True
+            outcome.reason = ("path terminated prematurely with %d fork points left"
+                              % len(remaining))
+            return outcome
+        if outcome.steps >= max_steps:
+            outcome.broken = True
+            outcome.reason = "replay exceeded %d steps" % max_steps
+            return outcome
+
+        result = executor.step(state)
+        outcome.steps += 1
+        outcome.instructions += result.instructions
+
+        children = result.children
+        if not children:
+            outcome.broken = True
+            outcome.reason = "state vanished during replay"
+            return outcome
+        if len(children) == 1:
+            state = children[0]
+            continue
+
+        index = remaining.pop(0)
+        if index >= len(children):
+            outcome.broken = True
+            outcome.reason = ("divergence: fork produced %d children, path wants %d"
+                              % (len(children), index))
+            return outcome
+        for sibling_index, sibling in enumerate(children):
+            if sibling_index == index:
+                continue
+            if sibling.is_running:
+                outcome.fence_states.append(
+                    (tuple(prefix + [sibling_index]), sibling))
+        prefix.append(index)
+        state = children[index]
+
+    if not state.is_running:
+        # The final node of the path exists but its state already terminated;
+        # nothing is left to explore there.
+        outcome.broken = True
+        outcome.reason = "replayed state is terminal"
+        outcome.state = state
+        return outcome
+
+    outcome.state = state
+    return outcome

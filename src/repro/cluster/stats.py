@@ -1,0 +1,98 @@
+"""Statistics collected by workers and the cluster runtime.
+
+The evaluation section of the paper is phrased in terms of two metrics
+(§7.2): the time to reach a goal (external) and the *useful work* performed,
+"measured as the number of useful (non-replay) instructions executed
+symbolically" (internal).  Workers therefore keep useful and replay
+instruction counters separately, and the cluster timeline records per-round
+snapshots that the benchmark harness turns into the paper's figures
+(7, 8, 9, 10, 12, 13).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+
+@dataclass
+class WorkerStats:
+    """Per-worker counters."""
+
+    worker_id: int
+    useful_instructions: int = 0
+    replay_instructions: int = 0
+    paths_completed: int = 0
+    jobs_imported: int = 0
+    jobs_exported: int = 0
+    replays: int = 0
+    broken_replays: int = 0
+    schedule_steps: int = 0
+
+    @property
+    def total_instructions(self) -> int:
+        return self.useful_instructions + self.replay_instructions
+
+    @property
+    def replay_overhead(self) -> float:
+        total = self.total_instructions
+        return self.replay_instructions / total if total else 0.0
+
+
+@dataclass
+class RoundSnapshot:
+    """One entry of the cluster timeline (one virtual-time round)."""
+
+    round_index: int
+    queue_lengths: Dict[int, int]
+    total_candidates: int
+    states_transferred: int
+    useful_instructions: int
+    replay_instructions: int
+    covered_lines: int
+    coverage_percent: float
+    paths_completed: int
+    bugs_found: int
+    load_balancing_enabled: bool
+
+    @property
+    def transfer_fraction(self) -> float:
+        """Fraction of all candidate states transferred during this round."""
+        if self.total_candidates == 0:
+            return 0.0
+        return self.states_transferred / self.total_candidates
+
+
+@dataclass
+class ClusterTimeline:
+    """The full per-round history of a cluster run."""
+
+    snapshots: List[RoundSnapshot] = field(default_factory=list)
+
+    def record(self, snapshot: RoundSnapshot) -> None:
+        self.snapshots.append(snapshot)
+
+    def __len__(self) -> int:
+        return len(self.snapshots)
+
+    def useful_work_series(self) -> List[int]:
+        """Cumulative useful instructions per round."""
+        series: List[int] = []
+        total = 0
+        for snap in self.snapshots:
+            total += snap.useful_instructions
+            series.append(total)
+        return series
+
+    def transfer_fraction_series(self) -> List[float]:
+        return [snap.transfer_fraction for snap in self.snapshots]
+
+    def coverage_series(self) -> List[float]:
+        return [snap.coverage_percent for snap in self.snapshots]
+
+    def rounds_to_coverage(self, target_percent: float) -> Optional[int]:
+        """First round index at which coverage reached the target, if any."""
+        for snap in self.snapshots:
+            if snap.coverage_percent >= target_percent:
+                return snap.round_index
+        return None

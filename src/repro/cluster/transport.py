@@ -1,0 +1,102 @@
+"""Simulated shared-nothing messaging between workers and the load balancer.
+
+The prototype in the paper runs on TCP between EC2 instances.  Here the
+transport is an in-process message fabric with per-destination mailboxes and
+(optional) one-round delivery latency, which keeps cluster runs deterministic
+and lets the benchmarks express time as virtual rounds.  The message types
+mirror the protocol of §3: worker status updates, load-balancer transfer
+requests, and direct worker-to-worker job transfers (the balancer stays off
+the critical path).
+"""
+
+from __future__ import annotations
+
+import enum
+from collections import defaultdict, deque
+from dataclasses import dataclass, field
+from typing import Deque, Dict, List, Optional, Tuple
+
+
+LOAD_BALANCER_ID = 0
+
+
+class MessageKind(enum.Enum):
+    STATUS_UPDATE = "status_update"          # worker -> LB: queue length + coverage
+    COVERAGE_UPDATE = "coverage_update"      # LB -> worker: merged global coverage
+    TRANSFER_REQUEST = "transfer_request"    # LB -> source worker
+    JOB_TRANSFER = "job_transfer"            # worker -> worker: encoded job tree
+
+
+@dataclass
+class Message:
+    kind: MessageKind
+    sender: int
+    recipient: int
+    payload: Dict[str, object] = field(default_factory=dict)
+
+
+class Transport:
+    """Per-recipient FIFO mailboxes with a configurable delivery delay."""
+
+    def __init__(self, delivery_delay_rounds: int = 0):
+        self.delivery_delay_rounds = delivery_delay_rounds
+        self._mailboxes: Dict[int, Deque[Message]] = defaultdict(deque)
+        self._in_flight: List[Tuple[int, Message]] = []
+        self._round = 0
+        self.messages_sent = 0
+        self.bytes_sent = 0
+
+    def send(self, message: Message, size_hint: int = 1) -> None:
+        self.messages_sent += 1
+        self.bytes_sent += size_hint
+        if self.delivery_delay_rounds <= 0:
+            self._mailboxes[message.recipient].append(message)
+        else:
+            deliver_at = self._round + self.delivery_delay_rounds
+            self._in_flight.append((deliver_at, message))
+
+    def advance_round(self) -> None:
+        """Move virtual time forward, delivering due in-flight messages."""
+        self._round += 1
+        still_flying: List[Tuple[int, Message]] = []
+        for deliver_at, message in self._in_flight:
+            if deliver_at <= self._round:
+                self._mailboxes[message.recipient].append(message)
+            else:
+                still_flying.append((deliver_at, message))
+        self._in_flight = still_flying
+
+    def receive_all(self, recipient: int) -> List[Message]:
+        mailbox = self._mailboxes[recipient]
+        out = list(mailbox)
+        mailbox.clear()
+        return out
+
+    def pending_count(self, recipient: Optional[int] = None) -> int:
+        if recipient is not None:
+            return len(self._mailboxes[recipient])
+        return sum(len(box) for box in self._mailboxes.values()) + len(self._in_flight)
+
+    def pending_work_count(self) -> int:
+        """Pending messages that carry (or will trigger) exploration work.
+
+        Status and coverage updates flow continuously and must not keep the
+        cluster alive; only transfer requests and job transfers do.
+        """
+        work_kinds = (MessageKind.TRANSFER_REQUEST, MessageKind.JOB_TRANSFER)
+        pending = sum(
+            1
+            for box in self._mailboxes.values()
+            for message in box
+            if message.kind in work_kinds
+        )
+        pending += sum(1 for _, m in self._in_flight if m.kind in work_kinds)
+        return pending
+
+    @property
+    def idle(self) -> bool:
+        return self.pending_count() == 0
+
+    @property
+    def work_idle(self) -> bool:
+        return self.pending_work_count() == 0

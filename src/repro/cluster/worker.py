@@ -1,0 +1,289 @@
+"""Cloud9 worker nodes (paper §3.2).
+
+A worker owns a local view of the execution tree rooted at the global root.
+Its *frontier* is the set of candidate nodes; the work-transfer protocol
+guarantees frontiers are pairwise disjoint and that their union is the global
+exploration frontier.  A worker:
+
+* explores materialized candidates by stepping their states,
+* lazily replays virtual candidates received in jobs,
+* exports candidate nodes as path-encoded jobs when asked by the load
+  balancer (the exported node becomes a fence node locally),
+* imports job trees from other workers (their leaves become virtual
+  candidates), and
+* periodically reports its queue length and coverage to the load balancer.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional, Sequence, Set, Tuple
+
+from repro.cluster.jobs import Job, JobTree
+from repro.cluster.replay import replay_path
+from repro.cluster.stats import WorkerStats
+from repro.cluster.overlay import WorkerCoverageView
+from repro.cluster.transport import LOAD_BALANCER_ID, Message, MessageKind, Transport
+from repro.engine.errors import BugReport
+from repro.engine.executor import StepResult, SymbolicExecutor
+from repro.engine.state import ExecutionState
+from repro.engine.strategies import SearchStrategy, make_strategy
+from repro.engine.test_case import TestCase
+from repro.engine.tree import ExecutionTree, NodeLife, NodeStatus, TreeNode
+
+StateFactory = Callable[[SymbolicExecutor], ExecutionState]
+
+
+class Worker:
+    """One cluster node running an independent symbolic execution engine."""
+
+    def __init__(self, worker_id: int, executor: SymbolicExecutor,
+                 state_factory: StateFactory,
+                 strategy: Optional[SearchStrategy] = None,
+                 strategy_name: str = "interleaved"):
+        if worker_id == LOAD_BALANCER_ID:
+            raise ValueError("worker id 0 is reserved for the load balancer")
+        self.worker_id = worker_id
+        self.executor = executor
+        self.state_factory = state_factory
+        self.strategy = strategy or make_strategy(
+            strategy_name, seed=worker_id, program=executor.program)
+        self.tree = ExecutionTree()
+        self.candidates: Dict[int, TreeNode] = {}
+        self.stats = WorkerStats(worker_id=worker_id)
+        self.coverage_view = WorkerCoverageView(executor.program.line_count)
+        self.bugs: List[BugReport] = []
+        self.test_cases: List[TestCase] = []
+        self.paths_completed = 0
+        self.seeded = False
+
+    # -- frontier bookkeeping ----------------------------------------------------------
+
+    @property
+    def queue_length(self) -> int:
+        """Length of the exploration-job queue reported to the load balancer."""
+        return len(self.candidates)
+
+    @property
+    def has_work(self) -> bool:
+        return bool(self.candidates)
+
+    def frontier_paths(self) -> Set[Tuple[int, ...]]:
+        """Paths of all candidate nodes (used to check disjointness/completeness)."""
+        return {tuple(node.path_from_root()) for node in self.candidates.values()}
+
+    def _add_candidate(self, node: TreeNode) -> None:
+        self.candidates[node.node_id] = node
+
+    def _remove_candidate(self, node: TreeNode) -> None:
+        self.candidates.pop(node.node_id, None)
+
+    # -- seeding -----------------------------------------------------------------------
+
+    def seed(self) -> None:
+        """Receive the initial job covering the entire execution tree (§3.1)."""
+        state = self.state_factory(self.executor)
+        self.tree.root.materialize(state)
+        self.tree.root.mark_candidate()
+        self._add_candidate(self.tree.root)
+        self.seeded = True
+
+    # -- exploration -------------------------------------------------------------------
+
+    def explore(self, instruction_budget: int) -> int:
+        """Run exploration for up to ``instruction_budget`` instructions.
+
+        Returns the budget actually consumed (instructions executed plus a
+        unit charge for pure scheduling/replay-management steps, so a worker
+        whose states only reschedule still makes bounded progress per round).
+        """
+        consumed = 0
+        while consumed < instruction_budget and self.candidates:
+            node = self.strategy.select(self.tree, list(self.candidates.values()))
+            if node.is_virtual:
+                consumed += max(self._replay_node(node), 1)
+                continue
+            consumed += max(self._explore_node(node), 1)
+        return consumed
+
+    def _explore_node(self, node: TreeNode) -> int:
+        state = node.state
+        bugs_before = len(self.executor.bugs)
+        tests_before = len(self.executor.test_cases)
+        paths_before = self.executor.paths_completed
+
+        result = self.executor.step(state)
+        self.stats.useful_instructions += result.instructions
+        if result.instructions == 0:
+            self.stats.schedule_steps += 1
+
+        self.bugs.extend(self.executor.bugs[bugs_before:])
+        self.test_cases.extend(self.executor.test_cases[tests_before:])
+        self.paths_completed += self.executor.paths_completed - paths_before
+
+        newly_covered: Set[int] = set()
+        for child in result.children:
+            newly_covered.update(child.coverage)
+        self.coverage_view.cover(newly_covered)
+        self.strategy.notify_covered(newly_covered)
+
+        self._apply_step_to_tree(node, result)
+        return result.instructions
+
+    def _apply_step_to_tree(self, node: TreeNode, result: StepResult) -> None:
+        children = result.children
+        if len(children) == 1 and children[0] is node.state:
+            if not children[0].is_running:
+                node.mark_dead()
+                self._remove_candidate(node)
+            return
+        self._remove_candidate(node)
+        for index, child_state in enumerate(children):
+            child_node = node.children.get(index)
+            if child_node is None:
+                child_node = node.add_child(index)
+            if child_state.is_running:
+                child_node.materialize(child_state)
+                child_node.mark_candidate()
+                self._add_candidate(child_node)
+            else:
+                child_node.materialize(None)
+                child_node.mark_dead()
+        node.mark_dead()
+
+    # -- replay of virtual nodes ------------------------------------------------------------
+
+    def _replay_node(self, node: TreeNode) -> int:
+        """Materialize a virtual candidate by replaying its path from the root."""
+        path = node.path_from_root()
+        self.stats.replays += 1
+
+        bugs_before = len(self.executor.bugs)
+        tests_before = len(self.executor.test_cases)
+        paths_before = self.executor.paths_completed
+        instructions_before = self.executor.total_instructions
+
+        outcome = replay_path(self.executor, self.state_factory, path)
+
+        # Work done during replay is accounted as replay (non-useful) work,
+        # and anything "discovered" along the replayed prefix was already
+        # discovered by the worker that explored it first.
+        del self.executor.bugs[bugs_before:]
+        del self.executor.test_cases[tests_before:]
+        self.executor.paths_completed = paths_before
+        replayed = self.executor.total_instructions - instructions_before
+        self.stats.replay_instructions += replayed
+
+        if not outcome.succeeded:
+            self.stats.broken_replays += 1
+            node.mark_dead()
+            self._remove_candidate(node)
+            return max(outcome.instructions, 1)
+
+        # Interior nodes along the path are dead; off-path siblings are fences.
+        interior = self.tree.root
+        for index in path[:-1]:
+            child = interior.children.get(index)
+            if child is None:
+                child = interior.add_child(index, status=NodeStatus.VIRTUAL,
+                                           life=NodeLife.DEAD)
+            interior = child
+            if not interior.is_dead:
+                interior.mark_dead()
+        for fence_path, fence_state in outcome.fence_states:
+            fence_node = self.tree.ensure_path(list(fence_path),
+                                               status=NodeStatus.MATERIALIZED,
+                                               life=NodeLife.FENCE)
+            if fence_node.node_id in self.candidates:
+                # Never demote one of our own candidates to a fence.
+                continue
+            fence_node.state = fence_state
+            if not fence_node.is_fence:
+                fence_node.mark_fence()
+
+        node.materialize(outcome.state)
+        if not node.is_candidate:
+            node.mark_candidate()
+            self._add_candidate(node)
+        return max(outcome.instructions, 1)
+
+    # -- job transfer -----------------------------------------------------------------------
+
+    def export_jobs(self, count: int) -> JobTree:
+        """Give away up to ``count`` candidate nodes as a path-encoded job tree.
+
+        Exported nodes become fence nodes locally (they are now on the
+        boundary between this worker's work and the destination's), which
+        prevents redundant exploration (§3.2).
+        """
+        if count <= 0 or not self.candidates:
+            return JobTree()
+        # Prefer to part with the most recently created (deepest) candidates:
+        # the local strategy tends to be working near the older/shallower part
+        # of its frontier, so these are the least disruptive to give away.
+        ordered = sorted(self.candidates.values(), key=lambda n: -n.node_id)
+        selected = ordered[:count]
+        jobs: List[Job] = []
+        for node in selected:
+            jobs.append(Job(tuple(node.path_from_root())))
+            node.mark_fence()
+            self._remove_candidate(node)
+            self.stats.jobs_exported += 1
+        return JobTree.from_jobs(jobs)
+
+    def import_jobs(self, job_tree: JobTree) -> int:
+        """Add the leaves of an incoming job tree to the frontier as virtual nodes."""
+        imported = 0
+        for job in job_tree.jobs():
+            node = self.tree.ensure_path(list(job.path),
+                                         status=NodeStatus.VIRTUAL,
+                                         life=NodeLife.CANDIDATE)
+            if node.is_dead or node.is_fence:
+                # The node was already explored here (can only happen if the
+                # same path bounced back); revive it as a candidate.
+                node.mark_candidate()
+            if node.node_id not in self.candidates:
+                self._add_candidate(node)
+                imported += 1
+                self.stats.jobs_imported += 1
+        return imported
+
+    # -- messaging ----------------------------------------------------------------------------
+
+    def send_status(self, transport: Transport, round_index: int) -> None:
+        transport.send(Message(
+            kind=MessageKind.STATUS_UPDATE,
+            sender=self.worker_id,
+            recipient=LOAD_BALANCER_ID,
+            payload={
+                "queue_length": self.queue_length,
+                "useful_instructions": self.stats.useful_instructions,
+                "coverage_bits": self.coverage_view.snapshot_bits(),
+                "round": round_index,
+            },
+        ))
+
+    def handle_messages(self, transport: Transport) -> int:
+        """Process all pending messages; returns the number of states received."""
+        states_received = 0
+        for message in transport.receive_all(self.worker_id):
+            if message.kind == MessageKind.TRANSFER_REQUEST:
+                destination = int(message.payload["destination"])
+                count = int(message.payload["job_count"])
+                job_tree = self.export_jobs(count)
+                if len(job_tree):
+                    transport.send(Message(
+                        kind=MessageKind.JOB_TRANSFER,
+                        sender=self.worker_id,
+                        recipient=destination,
+                        payload={"jobs": job_tree.encode(),
+                                 "count": len(job_tree)},
+                    ), size_hint=job_tree.encoded_size())
+            elif message.kind == MessageKind.JOB_TRANSFER:
+                job_tree = JobTree.decode(message.payload["jobs"])
+                states_received += self.import_jobs(job_tree)
+            elif message.kind == MessageKind.COVERAGE_UPDATE:
+                bits = int(message.payload["coverage_bits"])
+                new_lines = self.coverage_view.merge_global(bits)
+                self.strategy.merge_global_coverage(new_lines)
+        return states_received

@@ -1,0 +1,48 @@
+"""Engine configuration knobs."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+
+@dataclass
+class EngineConfig:
+    """Limits and policies for a single symbolic execution engine instance.
+
+    The defaults mirror what the paper's experiments rely on:
+
+    * ``max_instructions_per_path`` implements the hang/infinite-loop
+      detector of §7.3.3 (memcached UDP bug): a path that exceeds the limit
+      is terminated with an ``infinite_loop`` bug report.
+    * ``fork_on_schedule`` enables forking the state for every possible next
+      thread at scheduling points (§4.2), useful for concurrency bugs but a
+      significant source of path explosion, hence off by default.
+    * ``max_forks`` and ``max_states`` bound the exploration for use in unit
+      tests and benchmarks.
+    """
+
+    max_instructions_per_path: Optional[int] = None
+    max_forks: Optional[int] = None
+    max_states: Optional[int] = None
+    max_call_depth: int = 256
+    fork_on_schedule: bool = False
+    detect_deadlocks: bool = True
+    default_int_width: int = 32
+    max_symbolic_malloc: int = 4096
+    scheduler_policy: str = "round_robin"
+    max_loop_concretizations: int = 64
+
+    def copy(self) -> "EngineConfig":
+        return EngineConfig(
+            max_instructions_per_path=self.max_instructions_per_path,
+            max_forks=self.max_forks,
+            max_states=self.max_states,
+            max_call_depth=self.max_call_depth,
+            fork_on_schedule=self.fork_on_schedule,
+            detect_deadlocks=self.detect_deadlocks,
+            default_int_width=self.default_int_width,
+            max_symbolic_malloc=self.max_symbolic_malloc,
+            scheduler_policy=self.scheduler_policy,
+            max_loop_concretizations=self.max_loop_concretizations,
+        )

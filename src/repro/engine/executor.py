@@ -1,0 +1,332 @@
+"""The single-node symbolic execution engine (KLEE analogue).
+
+:class:`SymbolicExecutor` ties together the interpreter, the cooperative
+scheduler, the native-function registry and the execution tree.  It exposes
+two levels of API:
+
+* :meth:`SymbolicExecutor.step` -- execute one scheduling decision or one
+  instruction of one state, returning all resulting states.  The cluster
+  worker (:mod:`repro.cluster.worker`) drives exploration through this.
+* :meth:`SymbolicExecutor.run` -- a complete single-node exploration loop
+  with a search strategy and limits; this is what "1-worker Cloud9" (i.e.
+  plain KLEE) uses in the evaluation.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence, Set, Tuple, Union
+
+from repro.engine.config import EngineConfig
+from repro.engine.coverage import CoverageBitVector
+from repro.engine.errors import BugKind, BugReport
+from repro.engine.interpreter import Interpreter
+from repro.engine.natives import NativeRegistry
+from repro.engine.scheduler import CooperativeScheduler
+from repro.engine.state import ExecutionState, StateStatus, ThreadStatus
+from repro.engine.strategies import SearchStrategy, make_strategy
+from repro.engine.syscalls import default_registry
+from repro.engine.test_case import TestCase, generate_test_case
+from repro.engine.tree import ExecutionTree, NodeLife, NodeStatus, TreeNode
+from repro.lang.ast import Program
+from repro.lang.compiler import CompiledProgram, compile_program
+from repro.solver.solver import Solver
+
+
+@dataclass
+class StepResult:
+    """Outcome of stepping one state once.
+
+    ``children`` is the ordered list of all resulting states (running or
+    terminated); its order defines the fork indices used in job paths.
+    ``forked`` is true when more than one child was produced.
+    """
+
+    children: List[ExecutionState] = field(default_factory=list)
+    terminated: List[ExecutionState] = field(default_factory=list)
+    bugs: List[BugReport] = field(default_factory=list)
+    test_cases: List[TestCase] = field(default_factory=list)
+    instructions: int = 0
+
+    @property
+    def forked(self) -> bool:
+        return len(self.children) > 1
+
+    @property
+    def running(self) -> List[ExecutionState]:
+        return [s for s in self.children if s.is_running]
+
+
+@dataclass
+class ExplorationResult:
+    """Summary of a (single-node) exploration run."""
+
+    program_name: str
+    paths_completed: int = 0
+    bugs: List[BugReport] = field(default_factory=list)
+    test_cases: List[TestCase] = field(default_factory=list)
+    covered_lines: Set[int] = field(default_factory=set)
+    line_count: int = 0
+    instructions_executed: int = 0
+    states_remaining: int = 0
+    steps: int = 0
+    wall_time: float = 0.0
+    exhausted: bool = False
+
+    @property
+    def coverage_percent(self) -> float:
+        if not self.line_count:
+            return 0.0
+        return 100.0 * len(self.covered_lines) / self.line_count
+
+    def coverage_vector(self) -> CoverageBitVector:
+        return CoverageBitVector.from_lines(self.line_count, self.covered_lines)
+
+    def bug_kinds(self) -> Set[BugKind]:
+        return {b.kind for b in self.bugs}
+
+
+StateFactory = Callable[[], ExecutionState]
+
+
+class SymbolicExecutor:
+    """A single-node symbolic execution engine for one compiled program."""
+
+    def __init__(self, program: Union[Program, CompiledProgram],
+                 config: Optional[EngineConfig] = None,
+                 solver: Optional[Solver] = None,
+                 natives: Optional[NativeRegistry] = None,
+                 environment_installers: Sequence[Callable[["SymbolicExecutor"], None]] = ()):
+        self.program = (program if isinstance(program, CompiledProgram)
+                        else compile_program(program))
+        self.config = config or EngineConfig()
+        self.solver = solver or Solver()
+        self.natives = natives or default_registry()
+        self.scheduler = CooperativeScheduler(
+            policy=self.config.scheduler_policy,
+            fork_schedules=self.config.fork_on_schedule)
+        self.interpreter = Interpreter(self.solver, self.natives, self.config)
+        self.interpreter.executor = self
+
+        # Global exploration statistics (across run()/step() calls).
+        self.total_instructions = 0
+        self.covered_lines: Set[int] = set()
+        self.bugs: List[BugReport] = []
+        self.test_cases: List[TestCase] = []
+        self.paths_completed = 0
+
+        # Environment models (e.g. the POSIX model) register natives and
+        # per-state initialization hooks through installers.
+        self.state_initializers: List[Callable[[ExecutionState], None]] = []
+        for installer in environment_installers:
+            installer(self)
+
+    # -- state construction -----------------------------------------------------------
+
+    def make_initial_state(self, options: Optional[Dict[str, object]] = None
+                           ) -> ExecutionState:
+        """Create the initial state: main process + thread at the entry point."""
+        state = ExecutionState(self.program)
+        if options:
+            state.options.update(options)
+        state.create_main_process()
+        for initializer in self.state_initializers:
+            initializer(state)
+        return state
+
+    # -- stepping ---------------------------------------------------------------------
+
+    def _needs_schedule(self, state: ExecutionState) -> bool:
+        if state.current is None:
+            return True
+        if state.options.pop("force_reschedule", False):
+            return True
+        return state.current_thread.status != ThreadStatus.ENABLED
+
+    def step(self, state: ExecutionState) -> StepResult:
+        """Advance a state by one scheduling decision or one instruction."""
+        result = StepResult()
+        if not state.is_running:
+            return result
+
+        # Per-path instruction limit: the infinite-loop/hang detector.
+        limit = state.options.get("max_instructions",
+                                  self.config.max_instructions_per_path)
+        if limit is not None and state.instructions_executed >= int(limit):
+            report = BugReport(
+                kind=BugKind.INFINITE_LOOP,
+                message="path exceeded %d instructions (possible hang)" % int(limit),
+                state_id=state.state_id,
+                function=(state.current_thread.top.function
+                          if state.current else None),
+            )
+            state.terminate_error(report)
+            self._finish_state(state, result)
+            result.children = [state]
+            return result
+
+        if self._needs_schedule(state):
+            return self._schedule(state, result)
+
+        children = self.interpreter.execute_instruction(state)
+        result.instructions = 1
+        self.total_instructions += 1
+        result.children = children
+        for child in children:
+            self.covered_lines.update(child.coverage)
+            if not child.is_running:
+                self._finish_state(child, result)
+        return result
+
+    def _schedule(self, state: ExecutionState, result: StepResult) -> StepResult:
+        decision = self.scheduler.decide(state)
+        if decision.all_exited:
+            exit_code = 0
+            main_process = state.processes.get(1)
+            if main_process is not None and main_process.exit_code is not None:
+                exit_code = main_process.exit_code
+            state.terminate(exit_code)
+            self._finish_state(state, result)
+            result.children = [state]
+            return result
+        if decision.deadlock:
+            if self.config.detect_deadlocks:
+                state.terminate_error(self.scheduler.deadlock_report(state))
+                self._finish_state(state, result)
+            else:
+                state.terminate(0)
+                self._finish_state(state, result)
+            result.children = [state]
+            return result
+
+        choices = decision.choices
+        if len(choices) == 1:
+            self.scheduler.apply(state, choices[0])
+            result.children = [state]
+            return result
+
+        # Schedule fork: one successor per runnable thread.  All clones are
+        # taken from the unmodified state before any choice is applied.
+        state.forks += 1
+        children: List[ExecutionState] = [
+            state if index == 0 else state.fork()
+            for index in range(len(choices))
+        ]
+        for index, (choice, succ) in enumerate(zip(choices, children)):
+            succ.fork_trace.append(index)
+            self.scheduler.apply(succ, choice)
+        result.children = children
+        return result
+
+    def _finish_state(self, state: ExecutionState, result: StepResult) -> None:
+        """Bookkeeping when a state reaches a terminal status."""
+        result.terminated.append(state)
+        self.paths_completed += 1
+        self.covered_lines.update(state.coverage)
+        error = state.error
+        summary = error.summary() if error is not None else None
+        test_case = generate_test_case(state, self.solver, error_summary=summary)
+        if test_case is not None:
+            state_test_case = test_case
+            self.test_cases.append(test_case)
+            result.test_cases.append(test_case)
+            if error is not None:
+                error.test_case = state_test_case
+        if error is not None:
+            self.bugs.append(error)
+            result.bugs.append(error)
+
+    # -- complete exploration -------------------------------------------------------------
+
+    def run(self,
+            initial_state: Optional[Union[ExecutionState, StateFactory]] = None,
+            strategy: Optional[Union[str, SearchStrategy]] = None,
+            max_steps: Optional[int] = None,
+            max_paths: Optional[int] = None,
+            max_instructions: Optional[int] = None,
+            max_wall_time: Optional[float] = None,
+            coverage_target: Optional[float] = None) -> ExplorationResult:
+        """Explore until exhaustion or until a limit/goal is reached."""
+        if initial_state is None:
+            state = self.make_initial_state()
+        elif callable(initial_state):
+            state = initial_state()
+        else:
+            state = initial_state
+
+        if strategy is None:
+            strategy = make_strategy("interleaved", program=self.program)
+        elif isinstance(strategy, str):
+            strategy = make_strategy(strategy, program=self.program)
+
+        tree = ExecutionTree()
+        tree.root.materialize(state)
+        candidates: Dict[int, TreeNode] = {tree.root.node_id: tree.root}
+
+        result = ExplorationResult(program_name=self.program.name,
+                                   line_count=self.program.line_count)
+        start = time.monotonic()
+        instructions_at_start = self.total_instructions
+        paths_at_start = self.paths_completed
+
+        while candidates:
+            if max_steps is not None and result.steps >= max_steps:
+                break
+            if max_paths is not None and self.paths_completed - paths_at_start >= max_paths:
+                break
+            if max_instructions is not None and (
+                    self.total_instructions - instructions_at_start >= max_instructions):
+                break
+            if max_wall_time is not None and time.monotonic() - start > max_wall_time:
+                break
+            if coverage_target is not None and result.line_count:
+                percent = 100.0 * len(self.covered_lines) / result.line_count
+                if percent >= coverage_target:
+                    break
+
+            node = strategy.select(tree, list(candidates.values()))
+            step_result = self.step(node.state)
+            result.steps += 1
+            self._apply_step_to_tree(tree, node, step_result, candidates, strategy)
+
+        result.exhausted = not candidates
+        result.paths_completed = self.paths_completed - paths_at_start
+        result.bugs = list(self.bugs)
+        result.test_cases = list(self.test_cases)
+        result.covered_lines = set(self.covered_lines)
+        result.instructions_executed = self.total_instructions - instructions_at_start
+        result.states_remaining = len(candidates)
+        result.wall_time = time.monotonic() - start
+        return result
+
+    def _apply_step_to_tree(self, tree: ExecutionTree, node: TreeNode,
+                            step_result: StepResult,
+                            candidates: Dict[int, TreeNode],
+                            strategy: SearchStrategy) -> None:
+        """Update the execution tree and candidate set after one step."""
+        children = step_result.children
+        newly_covered: Set[int] = set()
+        for child in children:
+            newly_covered.update(child.coverage)
+        strategy.notify_covered(newly_covered)
+
+        if len(children) == 1 and children[0] is node.state:
+            child = children[0]
+            if not child.is_running:
+                node.mark_dead()
+                candidates.pop(node.node_id, None)
+            return
+
+        # A fork (or a termination that replaced the state object): the node
+        # becomes an interior dead node and each resulting state gets a child.
+        candidates.pop(node.node_id, None)
+        for index, child_state in enumerate(children):
+            child_node = node.add_child(index)
+            if child_state.is_running:
+                child_node.materialize(child_state)
+                candidates[child_node.node_id] = child_node
+            else:
+                child_node.status = NodeStatus.MATERIALIZED
+                child_node.mark_dead()
+        node.mark_dead()

@@ -1,0 +1,243 @@
+"""Search strategies: which candidate node to explore next.
+
+Section 7 of the paper: "the underlying KLEE engine used the best searchers
+from [Cadar 2008], namely an interleaving of random-path and
+coverage-optimized strategies".  This module provides those two plus the
+classic DFS/BFS/random-state baselines, and an interleaving combinator.
+
+A strategy operates on worker-local tree nodes; the cluster layer coordinates
+strategies across workers through the global coverage overlay (§3.3), which
+is fed to :class:`CoverageOptimizedStrategy` via :meth:`merge_global_coverage`.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Dict, Iterable, List, Optional, Sequence, Set
+
+from repro.engine.tree import ExecutionTree, TreeNode
+
+
+class SearchStrategy:
+    """Base class for candidate-selection strategies."""
+
+    name = "base"
+
+    def select(self, tree: ExecutionTree, candidates: Sequence[TreeNode]) -> TreeNode:
+        raise NotImplementedError
+
+    def notify_covered(self, lines: Iterable[int]) -> None:
+        """Inform the strategy about newly covered lines (local exploration)."""
+
+    def merge_global_coverage(self, lines: Iterable[int]) -> None:
+        """Inform the strategy about lines covered anywhere in the cluster."""
+
+
+class DfsStrategy(SearchStrategy):
+    """Depth-first: always pick the deepest (most recently created) node."""
+
+    name = "dfs"
+
+    def select(self, tree: ExecutionTree, candidates: Sequence[TreeNode]) -> TreeNode:
+        return max(candidates, key=lambda n: n.node_id)
+
+
+class BfsStrategy(SearchStrategy):
+    """Breadth-first: always pick the oldest node."""
+
+    name = "bfs"
+
+    def select(self, tree: ExecutionTree, candidates: Sequence[TreeNode]) -> TreeNode:
+        return min(candidates, key=lambda n: n.node_id)
+
+
+class RandomStateStrategy(SearchStrategy):
+    """Uniformly random choice among candidate nodes."""
+
+    name = "random_state"
+
+    def __init__(self, seed: int = 0):
+        self._rng = random.Random(seed)
+
+    def select(self, tree: ExecutionTree, candidates: Sequence[TreeNode]) -> TreeNode:
+        ordered = sorted(candidates, key=lambda n: n.node_id)
+        return ordered[self._rng.randrange(len(ordered))]
+
+
+class RandomPathStrategy(SearchStrategy):
+    """KLEE's random-path searcher.
+
+    Walk the execution tree from the root, choosing a random child at every
+    interior node among children that still contain candidate nodes, until a
+    candidate is reached.  This biases selection toward shallow states and is
+    immune to the "swarm of states in one loop" pathology of random-state.
+    """
+
+    name = "random_path"
+
+    def __init__(self, seed: int = 0):
+        self._rng = random.Random(seed)
+
+    def select(self, tree: ExecutionTree, candidates: Sequence[TreeNode]) -> TreeNode:
+        candidate_ids = {n.node_id for n in candidates}
+        node = tree.root
+        guard = 0
+        while True:
+            guard += 1
+            if guard > 100000:
+                # Fall back to uniform choice if the tree is malformed.
+                ordered = sorted(candidates, key=lambda n: n.node_id)
+                return ordered[self._rng.randrange(len(ordered))]
+            if node.node_id in candidate_ids:
+                viable_children = [c for c in node.children.values()
+                                   if c.candidate_count > 0]
+                if not viable_children:
+                    return node
+                # The node is itself a candidate *and* has candidate
+                # descendants (can happen transiently); prefer descending.
+            children = [c for k, c in sorted(node.children.items())
+                        if c.candidate_count > 0]
+            if not children:
+                if node.node_id in candidate_ids:
+                    return node
+                ordered = sorted(candidates, key=lambda n: n.node_id)
+                return ordered[self._rng.randrange(len(ordered))]
+            node = children[self._rng.randrange(len(children))]
+
+
+class CoverageOptimizedStrategy(SearchStrategy):
+    """Weight states by their estimated ability to cover new code.
+
+    The paper's coverage-optimized searcher weighs states "according to an
+    estimated distance to an uncovered line of code" and samples by weight.
+    Our estimate for a candidate node is based on the current line of its
+    state: a state sitting on an uncovered line gets the highest weight, then
+    states in functions that still contain uncovered lines, then the rest.
+    The covered-line set is the union of locally covered lines and the global
+    coverage vector received from the load balancer.
+    """
+
+    name = "coverage_optimized"
+
+    def __init__(self, seed: int = 0, program=None):
+        self._rng = random.Random(seed)
+        self._covered: Set[int] = set()
+        self._program = program
+        self._function_lines: Dict[str, Set[int]] = {}
+        if program is not None:
+            for name, fn in program.functions.items():
+                self._function_lines[name] = {i.line for i in fn.instructions}
+
+    def notify_covered(self, lines: Iterable[int]) -> None:
+        self._covered.update(lines)
+
+    def merge_global_coverage(self, lines: Iterable[int]) -> None:
+        self._covered.update(lines)
+
+    def _weight(self, node: TreeNode) -> float:
+        state = node.state
+        if state is None or not state.is_running or state.current is None:
+            return 1.0
+        if not state.current_thread.stack:
+            # The current thread just terminated; the state is waiting for a
+            # scheduling decision and carries no useful position information.
+            return 1.0
+        frame = state.current_thread.top
+        function = state.program.function(frame.function)
+        if frame.pc < len(function.instructions):
+            line = function.instructions[frame.pc].line
+            if line not in self._covered:
+                return 16.0
+        fn_lines = self._function_lines.get(frame.function)
+        if fn_lines is None:
+            fn_lines = {i.line for i in function.instructions}
+            self._function_lines[frame.function] = fn_lines
+        uncovered_here = len(fn_lines - self._covered)
+        if uncovered_here:
+            return 4.0 + min(uncovered_here, 8)
+        return 1.0
+
+    def select(self, tree: ExecutionTree, candidates: Sequence[TreeNode]) -> TreeNode:
+        ordered = sorted(candidates, key=lambda n: n.node_id)
+        weights = [self._weight(n) for n in ordered]
+        total = sum(weights)
+        pick = self._rng.uniform(0.0, total)
+        cumulative = 0.0
+        for node, weight in zip(ordered, weights):
+            cumulative += weight
+            if pick <= cumulative:
+                return node
+        return ordered[-1]
+
+
+class InterleavedStrategy(SearchStrategy):
+    """Alternate between several strategies (KLEE's round-robin interleaving)."""
+
+    name = "interleaved"
+
+    def __init__(self, strategies: Sequence[SearchStrategy]):
+        if not strategies:
+            raise ValueError("InterleavedStrategy needs at least one strategy")
+        self._strategies = list(strategies)
+        self._next = 0
+
+    def select(self, tree: ExecutionTree, candidates: Sequence[TreeNode]) -> TreeNode:
+        strategy = self._strategies[self._next % len(self._strategies)]
+        self._next += 1
+        return strategy.select(tree, candidates)
+
+    def notify_covered(self, lines: Iterable[int]) -> None:
+        lines = list(lines)
+        for strategy in self._strategies:
+            strategy.notify_covered(lines)
+
+    def merge_global_coverage(self, lines: Iterable[int]) -> None:
+        lines = list(lines)
+        for strategy in self._strategies:
+            strategy.merge_global_coverage(lines)
+
+
+class FewestFaultsFirstStrategy(SearchStrategy):
+    """Prefer states with fewer injected faults along their path (§7.3.3).
+
+    Used in the memcached fault-injection experiment: first explore paths
+    with one injected fault, then pairs of faults, and so on, which yields a
+    uniform injection of faults over the original test-suite path.
+    """
+
+    name = "fewest_faults_first"
+
+    def __init__(self, seed: int = 0):
+        self._rng = random.Random(seed)
+
+    def select(self, tree: ExecutionTree, candidates: Sequence[TreeNode]) -> TreeNode:
+        def fault_count(node: TreeNode) -> int:
+            state = node.state
+            if state is None:
+                return 0
+            return int(state.options.get("faults_injected", 0))
+
+        ordered = sorted(candidates, key=lambda n: (fault_count(n), n.node_id))
+        return ordered[0]
+
+
+def make_strategy(name: str, seed: int = 0, program=None) -> SearchStrategy:
+    """Factory used by configuration code and the cluster layer."""
+    if name == "dfs":
+        return DfsStrategy()
+    if name == "bfs":
+        return BfsStrategy()
+    if name == "random_state":
+        return RandomStateStrategy(seed)
+    if name == "random_path":
+        return RandomPathStrategy(seed)
+    if name == "coverage_optimized":
+        return CoverageOptimizedStrategy(seed, program=program)
+    if name == "fewest_faults_first":
+        return FewestFaultsFirstStrategy(seed)
+    if name in ("interleaved", "default", "klee"):
+        return InterleavedStrategy([
+            RandomPathStrategy(seed),
+            CoverageOptimizedStrategy(seed + 1, program=program),
+        ])
+    raise ValueError("unknown strategy %r" % name)

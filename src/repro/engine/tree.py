@@ -1,0 +1,294 @@
+"""The symbolic execution tree and its node life-cycle.
+
+Figure 2 and Figure 3 of the paper define the worker-side view of the global
+execution tree.  Every node carries two attributes:
+
+* ``status`` in {materialized, virtual}: a *materialized* node holds the
+  corresponding program state; a *virtual* node is an "empty shell" received
+  in a job and not yet replayed.
+* ``life`` in {candidate, fence, dead}: *candidate* nodes form the
+  exploration frontier, *fence* nodes demarcate work delegated to other
+  workers, and *dead* nodes are fully explored interior nodes whose program
+  state can be discarded.
+
+The module also reproduces the two custom data structures of §6:
+
+* :class:`NodePin` -- a "rubber band" smart pointer that keeps the path from
+  a node up to the root alive; unpinned interior nodes are garbage collected
+  in bulk rather than by chained destructors.
+* *tree layers* -- each node may be tagged as belonging to any subset of
+  layers (symbolic states, imported jobs, ...), and traversals take the layer
+  of interest as a filter, so switching layers costs nothing.
+"""
+
+from __future__ import annotations
+
+import enum
+import itertools
+from typing import Dict, Iterator, List, Optional, Sequence, Set
+
+
+class NodeStatus(enum.Enum):
+    MATERIALIZED = "materialized"
+    VIRTUAL = "virtual"
+
+
+class NodeLife(enum.Enum):
+    CANDIDATE = "candidate"
+    FENCE = "fence"
+    DEAD = "dead"
+
+
+# Standard layers (callers may define their own names as well).
+LAYER_STATES = "states"
+LAYER_JOBS = "jobs"
+LAYER_BREAKPOINTS = "breakpoints"
+
+
+_node_id_counter = itertools.count(1)
+
+
+class TreeNode:
+    """One node of a worker's local view of the execution tree."""
+
+    __slots__ = ("node_id", "parent", "children", "status", "life", "state",
+                 "layers", "pin_count", "fork_index", "candidate_count")
+
+    def __init__(self, parent: Optional["TreeNode"] = None, fork_index: int = 0,
+                 status: NodeStatus = NodeStatus.MATERIALIZED,
+                 life: NodeLife = NodeLife.CANDIDATE):
+        self.node_id = next(_node_id_counter)
+        self.parent = parent
+        self.children: Dict[int, TreeNode] = {}
+        self.status = status
+        self.life = life
+        self.state = None  # ExecutionState for materialized candidate/fence nodes
+        self.layers: Set[str] = set()
+        self.pin_count = 0
+        self.fork_index = fork_index
+        # Number of candidate nodes in this subtree (self included); kept up
+        # to date by _set_life so random-path selection can walk the tree
+        # without scanning it.
+        self.candidate_count = 1 if life == NodeLife.CANDIDATE else 0
+        if parent is not None:
+            parent.children[fork_index] = self
+            if self.candidate_count:
+                parent._propagate_candidate_delta(self.candidate_count)
+
+    # -- structure ----------------------------------------------------------
+
+    @property
+    def is_root(self) -> bool:
+        return self.parent is None
+
+    @property
+    def is_leaf(self) -> bool:
+        return not self.children
+
+    def add_child(self, fork_index: int,
+                  status: NodeStatus = NodeStatus.MATERIALIZED,
+                  life: NodeLife = NodeLife.CANDIDATE) -> "TreeNode":
+        if fork_index in self.children:
+            raise ValueError("child %d already exists under node %d"
+                             % (fork_index, self.node_id))
+        return TreeNode(self, fork_index, status=status, life=life)
+
+    def path_from_root(self) -> List[int]:
+        """The sequence of fork indices leading from the root to this node."""
+        path: List[int] = []
+        node = self
+        while node.parent is not None:
+            path.append(node.fork_index)
+            node = node.parent
+        path.reverse()
+        return path
+
+    def root(self) -> "TreeNode":
+        node = self
+        while node.parent is not None:
+            node = node.parent
+        return node
+
+    def descend(self, path: Sequence[int]) -> Optional["TreeNode"]:
+        """Follow a fork-index path downward; None if it leaves the tree."""
+        node = self
+        for index in path:
+            child = node.children.get(index)
+            if child is None:
+                return None
+            node = child
+        return node
+
+    # -- life-cycle (Fig. 3) ---------------------------------------------------
+
+    def _propagate_candidate_delta(self, delta: int) -> None:
+        node: Optional[TreeNode] = self
+        while node is not None:
+            node.candidate_count += delta
+            node = node.parent
+
+    def _set_life(self, life: NodeLife) -> None:
+        was_candidate = self.life == NodeLife.CANDIDATE
+        will_be_candidate = life == NodeLife.CANDIDATE
+        self.life = life
+        if was_candidate and not will_be_candidate:
+            self._propagate_candidate_delta(-1)
+        elif will_be_candidate and not was_candidate:
+            self._propagate_candidate_delta(1)
+
+    def mark_dead(self) -> None:
+        """Explored: discard the program state, keep only the skeleton."""
+        self._set_life(NodeLife.DEAD)
+        self.state = None
+
+    def mark_fence(self) -> None:
+        """The subtree below is being explored elsewhere (job sent away)."""
+        self._set_life(NodeLife.FENCE)
+
+    def mark_candidate(self) -> None:
+        self._set_life(NodeLife.CANDIDATE)
+
+    def materialize(self, state) -> None:
+        """Attach a program state (virtual -> materialized after replay)."""
+        self.status = NodeStatus.MATERIALIZED
+        self.state = state
+
+    @property
+    def is_candidate(self) -> bool:
+        return self.life == NodeLife.CANDIDATE
+
+    @property
+    def is_fence(self) -> bool:
+        return self.life == NodeLife.FENCE
+
+    @property
+    def is_dead(self) -> bool:
+        return self.life == NodeLife.DEAD
+
+    @property
+    def is_materialized(self) -> bool:
+        return self.status == NodeStatus.MATERIALIZED
+
+    @property
+    def is_virtual(self) -> bool:
+        return self.status == NodeStatus.VIRTUAL
+
+    # -- traversal ---------------------------------------------------------------
+
+    def iter_subtree(self, layer: Optional[str] = None) -> Iterator["TreeNode"]:
+        """Depth-first iteration over the subtree, optionally layer-filtered."""
+        stack = [self]
+        while stack:
+            node = stack.pop()
+            if layer is None or layer in node.layers:
+                yield node
+            stack.extend(node.children[k] for k in sorted(node.children, reverse=True))
+
+    def leaves(self, layer: Optional[str] = None) -> List["TreeNode"]:
+        return [n for n in self.iter_subtree(layer) if n.is_leaf]
+
+    def __repr__(self) -> str:
+        return "TreeNode(id=%d, %s/%s, children=%d)" % (
+            self.node_id, self.status.value, self.life.value, len(self.children))
+
+
+class NodePin:
+    """A smart pointer that anchors the path from ``node`` to the root.
+
+    While at least one pin references a node, the chain of ancestors up to the
+    root is protected from pruning.  Releasing a pin lets
+    :meth:`ExecutionTree.prune` free, in one sweep, every unpinned node that
+    no longer leads to a pinned descendant -- the "rubber band" behaviour of
+    §6 that avoids deep recursive destructor chains.
+    """
+
+    __slots__ = ("node", "_released")
+
+    def __init__(self, node: TreeNode):
+        self.node = node
+        self._released = False
+        current: Optional[TreeNode] = node
+        while current is not None:
+            current.pin_count += 1
+            current = current.parent
+
+    def release(self) -> None:
+        if self._released:
+            return
+        self._released = True
+        current: Optional[TreeNode] = self.node
+        while current is not None:
+            current.pin_count -= 1
+            current = current.parent
+
+    def __enter__(self) -> "NodePin":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.release()
+
+
+class ExecutionTree:
+    """A worker-local (or single-engine) view of the execution tree."""
+
+    def __init__(self):
+        self.root = TreeNode()
+
+    def new_pin(self, node: TreeNode) -> NodePin:
+        return NodePin(node)
+
+    def nodes(self, layer: Optional[str] = None) -> List[TreeNode]:
+        return list(self.root.iter_subtree(layer))
+
+    def candidates(self) -> List[TreeNode]:
+        return [n for n in self.root.iter_subtree() if n.is_candidate]
+
+    def fences(self) -> List[TreeNode]:
+        return [n for n in self.root.iter_subtree() if n.is_fence]
+
+    def node_count(self) -> int:
+        return sum(1 for _ in self.root.iter_subtree())
+
+    def prune(self) -> int:
+        """Remove unpinned dead leaves (iteratively, so interior chains of
+        dead nodes whose subtrees were fully pruned get removed too).
+
+        Returns the number of nodes removed.
+        """
+        removed = 0
+        changed = True
+        while changed:
+            changed = False
+            for node in list(self.root.iter_subtree()):
+                if (node.parent is not None and node.is_leaf and node.is_dead
+                        and node.pin_count == 0):
+                    del node.parent.children[node.fork_index]
+                    node.parent = None
+                    removed += 1
+                    changed = True
+        return removed
+
+    def node_at(self, path: Sequence[int]) -> Optional[TreeNode]:
+        return self.root.descend(path)
+
+    def ensure_path(self, path: Sequence[int],
+                    status: NodeStatus = NodeStatus.VIRTUAL,
+                    life: NodeLife = NodeLife.CANDIDATE) -> TreeNode:
+        """Create any missing nodes along ``path`` (used when importing jobs).
+
+        Intermediate nodes created on the way are virtual and dead (they are
+        interior nodes of a path that will be replayed); only the final node
+        gets the requested status/life.
+        """
+        node = self.root
+        for depth, index in enumerate(path):
+            child = node.children.get(index)
+            if child is None:
+                is_last = depth == len(path) - 1
+                child = node.add_child(
+                    index,
+                    status=status if is_last else NodeStatus.VIRTUAL,
+                    life=life if is_last else NodeLife.DEAD,
+                )
+            node = child
+        return node

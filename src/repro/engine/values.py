@@ -1,0 +1,199 @@
+"""Runtime values and mixed concrete/symbolic arithmetic.
+
+A runtime value is either a plain Python ``int`` (concrete, interpreted as an
+unsigned machine integer of the engine's default width) or a
+:class:`repro.solver.expr.Expr` bitvector.  All helpers in this module accept
+either form, performing concrete arithmetic whenever possible and building
+solver expressions only when a symbolic operand is involved -- keeping
+expressions small is what keeps the solver fast.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple, Union
+
+from repro.lang.ast import BinaryOp, UnaryOp
+from repro.solver import expr as E
+from repro.solver.expr import Expr
+from repro.solver.simplify import simplify
+
+Value = Union[int, Expr]
+
+DEFAULT_WIDTH = 32
+_DEFAULT_MASK = (1 << DEFAULT_WIDTH) - 1
+
+
+def is_concrete(value: Value) -> bool:
+    return isinstance(value, int)
+
+
+def is_symbolic(value: Value) -> bool:
+    return isinstance(value, Expr)
+
+
+def width_of(value: Value) -> int:
+    if isinstance(value, Expr):
+        return value.width
+    return DEFAULT_WIDTH
+
+
+def mask_concrete(value: int, width: int = DEFAULT_WIDTH) -> int:
+    return value & ((1 << width) - 1)
+
+
+def to_expr(value: Value, width: int = DEFAULT_WIDTH) -> Expr:
+    """Lift a value to a solver expression of exactly ``width`` bits."""
+    if isinstance(value, Expr):
+        if value.width == width:
+            return value
+        if value.width < width:
+            return E.zext(value, width)
+        return E.extract(value, width - 1, 0)
+    return E.bv_const(mask_concrete(int(value), width), width)
+
+
+def common_width(a: Value, b: Value) -> int:
+    return max(width_of(a), width_of(b), DEFAULT_WIDTH)
+
+
+def as_signed(value: int, width: int = DEFAULT_WIDTH) -> int:
+    return E.to_signed(value, width)
+
+
+def concrete_binop(op: BinaryOp, a: int, b: int, width: int = DEFAULT_WIDTH) -> int:
+    """Concrete evaluation of a binary operator with C-like unsigned semantics."""
+    mask = (1 << width) - 1
+    a &= mask
+    b &= mask
+    if op == BinaryOp.ADD:
+        return (a + b) & mask
+    if op == BinaryOp.SUB:
+        return (a - b) & mask
+    if op == BinaryOp.MUL:
+        return (a * b) & mask
+    if op == BinaryOp.DIV:
+        return mask if b == 0 else (a // b) & mask
+    if op == BinaryOp.MOD:
+        return a if b == 0 else (a % b) & mask
+    if op == BinaryOp.AND:
+        return a & b
+    if op == BinaryOp.OR:
+        return a | b
+    if op == BinaryOp.XOR:
+        return a ^ b
+    if op == BinaryOp.SHL:
+        return 0 if b >= width else (a << b) & mask
+    if op == BinaryOp.SHR:
+        return 0 if b >= width else a >> b
+    if op == BinaryOp.EQ:
+        return int(a == b)
+    if op == BinaryOp.NE:
+        return int(a != b)
+    if op == BinaryOp.LT:
+        return int(as_signed(a, width) < as_signed(b, width))
+    if op == BinaryOp.LE:
+        return int(as_signed(a, width) <= as_signed(b, width))
+    if op == BinaryOp.GT:
+        return int(as_signed(a, width) > as_signed(b, width))
+    if op == BinaryOp.GE:
+        return int(as_signed(a, width) >= as_signed(b, width))
+    if op == BinaryOp.LAND:
+        return int(bool(a) and bool(b))
+    if op == BinaryOp.LOR:
+        return int(bool(a) or bool(b))
+    raise NotImplementedError("concrete_binop: unsupported operator %r" % op)
+
+
+def symbolic_binop(op: BinaryOp, a: Value, b: Value) -> Expr:
+    """Build a solver expression for a binary operator over mixed operands."""
+    width = common_width(a, b)
+    lhs = to_expr(a, width)
+    rhs = to_expr(b, width)
+    if op == BinaryOp.ADD:
+        return E.add(lhs, rhs)
+    if op == BinaryOp.SUB:
+        return E.sub(lhs, rhs)
+    if op == BinaryOp.MUL:
+        return E.mul(lhs, rhs)
+    if op == BinaryOp.DIV:
+        return E.udiv(lhs, rhs)
+    if op == BinaryOp.MOD:
+        return E.urem(lhs, rhs)
+    if op == BinaryOp.AND:
+        return E.band(lhs, rhs)
+    if op == BinaryOp.OR:
+        return E.bor(lhs, rhs)
+    if op == BinaryOp.XOR:
+        return E.bxor(lhs, rhs)
+    if op == BinaryOp.SHL:
+        return E.shl(lhs, rhs)
+    if op == BinaryOp.SHR:
+        return E.lshr(lhs, rhs)
+
+    one = E.bv_const(1, width)
+    zero = E.bv_const(0, width)
+    if op == BinaryOp.EQ:
+        return E.ite(E.eq(lhs, rhs), one, zero)
+    if op == BinaryOp.NE:
+        return E.ite(E.ne(lhs, rhs), one, zero)
+    if op == BinaryOp.LT:
+        return E.ite(E.slt(lhs, rhs), one, zero)
+    if op == BinaryOp.LE:
+        return E.ite(E.sle(lhs, rhs), one, zero)
+    if op == BinaryOp.GT:
+        return E.ite(E.sgt(lhs, rhs), one, zero)
+    if op == BinaryOp.GE:
+        return E.ite(E.sge(lhs, rhs), one, zero)
+    if op == BinaryOp.LAND:
+        return E.ite(E.logical_and(E.ne(lhs, zero), E.ne(rhs, zero)), one, zero)
+    if op == BinaryOp.LOR:
+        return E.ite(E.logical_or(E.ne(lhs, zero), E.ne(rhs, zero)), one, zero)
+    raise NotImplementedError("symbolic_binop: unsupported operator %r" % op)
+
+
+def binop(op: BinaryOp, a: Value, b: Value) -> Value:
+    """Evaluate a binary operator, staying concrete when both operands are."""
+    if is_concrete(a) and is_concrete(b):
+        return concrete_binop(op, a, b)
+    return simplify(symbolic_binop(op, a, b))
+
+
+def unop(op: UnaryOp, value: Value) -> Value:
+    if is_concrete(value):
+        if op == UnaryOp.NEG:
+            return mask_concrete(-value)
+        if op == UnaryOp.NOT:
+            return int(value == 0)
+        if op == UnaryOp.BNOT:
+            return mask_concrete(~value)
+        raise NotImplementedError("unop: unsupported operator %r" % op)
+    width = width_of(value)
+    expr = to_expr(value, width)
+    if op == UnaryOp.NEG:
+        return simplify(E.sub(E.bv_const(0, width), expr))
+    if op == UnaryOp.NOT:
+        return simplify(E.ite(E.eq(expr, E.bv_const(0, width)),
+                              E.bv_const(1, width), E.bv_const(0, width)))
+    if op == UnaryOp.BNOT:
+        return simplify(E.bnot(expr))
+    raise NotImplementedError("unop: unsupported operator %r" % op)
+
+
+def truth_condition(value: Value) -> Expr:
+    """The boolean constraint "value is non-zero" (C truthiness)."""
+    width = width_of(value)
+    return simplify(E.ne(to_expr(value, width), E.bv_const(0, width)))
+
+
+def false_condition(value: Value) -> Expr:
+    width = width_of(value)
+    return simplify(E.eq(to_expr(value, width), E.bv_const(0, width)))
+
+
+def byte_value(cell: Value) -> Value:
+    """Normalize a memory cell into an 8-bit-range value."""
+    if isinstance(cell, int):
+        return cell & 0xFF
+    if cell.width == 8:
+        return cell
+    return simplify(E.extract(cell, 7, 0))

@@ -1,0 +1,169 @@
+"""Stream buffers and block buffers.
+
+Section 4.3: "The two most important data structures are stream buffers and
+block buffers, analogous to character and block device types in UNIX.
+Stream buffers model half-duplex communication channels: they are generic
+producer-consumer queues of bytes, with support for event notification to
+multiple listeners. [...] Block buffers are random-access, fixed-size
+buffers, whose operations do not block; they are used to implement symbolic
+files."
+
+Cells are either concrete ints (0..255) or symbolic 8-bit expressions.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Deque, List, Optional, Sequence, Union
+
+from repro.solver.expr import Expr
+
+Cell = Union[int, Expr]
+
+
+class StreamBuffer:
+    """A producer-consumer byte queue with event notification.
+
+    ``read_wlist`` is the engine wait-list id used by blocked readers.  Event
+    notification to *multiple* listeners (the paper's polling support) is
+    handled by the POSIX model's global select wait list; see
+    :mod:`repro.posix.polling`.
+    """
+
+    def __init__(self, capacity: Optional[int] = None):
+        self.capacity = capacity
+        self.cells: Deque[Cell] = deque()
+        self.write_closed = False
+        self.read_closed = False
+        self.read_wlist: Optional[int] = None
+        self.write_wlist: Optional[int] = None
+        # Datagram boundaries (UDP): lengths of messages, in order.  Empty
+        # for plain byte streams.
+        self.datagram_sizes: Deque[int] = deque()
+
+    # -- state -----------------------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self.cells)
+
+    @property
+    def is_empty(self) -> bool:
+        return not self.cells
+
+    @property
+    def has_data(self) -> bool:
+        return bool(self.cells)
+
+    @property
+    def at_eof(self) -> bool:
+        return self.write_closed and not self.cells
+
+    @property
+    def readable(self) -> bool:
+        """True when a read would not block (data available or EOF)."""
+        return self.has_data or self.write_closed
+
+    @property
+    def writable(self) -> bool:
+        if self.read_closed or self.write_closed:
+            return False
+        if self.capacity is None:
+            return True
+        return len(self.cells) < self.capacity
+
+    # -- byte-stream operations ----------------------------------------------------
+
+    def push(self, data: Sequence[Cell]) -> int:
+        """Append bytes; returns the number accepted (capacity-limited)."""
+        if self.write_closed or self.read_closed:
+            return 0
+        if self.capacity is None:
+            accepted = len(data)
+        else:
+            accepted = min(len(data), self.capacity - len(self.cells))
+        for cell in list(data)[:accepted]:
+            self.cells.append(cell)
+        return accepted
+
+    def pop(self, count: int) -> List[Cell]:
+        """Remove and return up to ``count`` bytes from the front."""
+        out: List[Cell] = []
+        while self.cells and len(out) < count:
+            out.append(self.cells.popleft())
+        return out
+
+    def peek(self, count: int) -> List[Cell]:
+        out: List[Cell] = []
+        for cell in self.cells:
+            if len(out) >= count:
+                break
+            out.append(cell)
+        return out
+
+    # -- datagram operations ----------------------------------------------------------
+
+    def push_datagram(self, data: Sequence[Cell]) -> None:
+        """Append one datagram, preserving its boundary."""
+        self.cells.extend(data)
+        self.datagram_sizes.append(len(data))
+
+    def pop_datagram(self, max_bytes: Optional[int] = None) -> List[Cell]:
+        """Remove one datagram (truncated to ``max_bytes`` if given).
+
+        Excess bytes of a truncated datagram are discarded, matching UDP
+        recvfrom semantics.
+        """
+        if not self.datagram_sizes:
+            return []
+        size = self.datagram_sizes.popleft()
+        data = [self.cells.popleft() for _ in range(size)]
+        if max_bytes is not None and len(data) > max_bytes:
+            data = data[:max_bytes]
+        return data
+
+    @property
+    def has_datagram(self) -> bool:
+        return bool(self.datagram_sizes)
+
+    # -- shutdown ---------------------------------------------------------------------
+
+    def close_write(self) -> None:
+        self.write_closed = True
+
+    def close_read(self) -> None:
+        self.read_closed = True
+
+
+class BlockBuffer:
+    """A random-access buffer of cells (the backing store of modeled files)."""
+
+    def __init__(self, size: int = 0, fill: Cell = 0):
+        self.cells: List[Cell] = [fill] * size
+
+    @property
+    def size(self) -> int:
+        return len(self.cells)
+
+    def read(self, offset: int, count: int) -> List[Cell]:
+        """Read up to ``count`` cells starting at ``offset`` (short at EOF)."""
+        if offset >= len(self.cells):
+            return []
+        return list(self.cells[offset:offset + count])
+
+    def write(self, offset: int, data: Sequence[Cell]) -> int:
+        """Write cells at ``offset``, growing the buffer as needed."""
+        end = offset + len(data)
+        if end > len(self.cells):
+            self.cells.extend([0] * (end - len(self.cells)))
+        for i, cell in enumerate(data):
+            self.cells[offset + i] = cell
+        return len(data)
+
+    def truncate(self, size: int) -> None:
+        if size < len(self.cells):
+            del self.cells[size:]
+        else:
+            self.cells.extend([0] * (size - len(self.cells)))
+
+    def set_contents(self, data: Sequence[Cell]) -> None:
+        self.cells = list(data)

@@ -1,0 +1,37 @@
+"""Pipes, modeled with a single stream buffer (paper §4.3)."""
+
+from __future__ import annotations
+
+from repro.engine.natives import NativeContext
+from repro.posix.buffers import StreamBuffer
+from repro.posix.common import ERR, copy_cells_to_memory, current_pid
+from repro.posix.data import FdKind, FileDescriptor, StreamEndpoint, posix_of
+
+
+def posix_pipe(ctx: NativeContext):
+    """``pipe(buf)``: create a pipe; fds stored as bytes at buf[0] / buf[1].
+
+    ``buf[0]`` receives the read end, ``buf[1]`` the write end (descriptor
+    numbers are small, so single bytes suffice for the modeled programs).
+    """
+    buf_addr = ctx.concrete_arg(0)
+    posix = posix_of(ctx.state)
+    pid = current_pid(ctx)
+
+    channel = StreamBuffer()
+    unused = StreamBuffer()
+    unused.close_write()
+    read_end = StreamEndpoint(rx=channel, tx=unused)
+    write_end = StreamEndpoint(rx=unused, tx=channel)
+
+    read_fd = posix.allocate_fd(pid, FileDescriptor(
+        fd=-1, kind=FdKind.PIPE_READ, endpoint=read_end))
+    write_fd = posix.allocate_fd(pid, FileDescriptor(
+        fd=-1, kind=FdKind.PIPE_WRITE, endpoint=write_end))
+    copy_cells_to_memory(ctx.state, buf_addr, [read_fd & 0xFF, write_fd & 0xFF])
+    return 0
+
+
+HANDLERS = {
+    "pipe": posix_pipe,
+}

@@ -1,0 +1,85 @@
+"""Process management: fork, exit, waitpid, getpid.
+
+``fork()`` builds on the engine's ``cloud9_process_fork`` symbolic system
+call (Table 1): the engine duplicates the address space within the state
+(CoW) and the model duplicates the file-descriptor table, exactly as the
+paper describes the split between engine-held and model-held process
+information.
+"""
+
+from __future__ import annotations
+
+from repro.engine.natives import Block, ExitProcess, NativeContext
+from repro.engine.state import ThreadStatus
+from repro.engine.syscalls import cloud9_process_fork
+from repro.posix.common import ERR, ensure_process_exit_wlist
+from repro.posix.data import posix_of
+
+
+def posix_fork(ctx: NativeContext):
+    """``fork()``: returns the child pid in the parent and 0 in the child."""
+    parent_pid = ctx.state.current[0]
+    child_pid = cloud9_process_fork(ctx)
+    posix_of(ctx.state).duplicate_table(parent_pid, child_pid)
+    return child_pid
+
+
+def posix_getpid(ctx: NativeContext):
+    return ctx.state.current[0]
+
+
+def posix_getppid(ctx: NativeContext):
+    process = ctx.state.current_process
+    return process.parent_pid
+
+
+def posix_exit(ctx: NativeContext):
+    """``exit(code)``: terminate the calling process, waking any waiters."""
+    state = ctx.state
+    posix = posix_of(state)
+    if posix.process_exit_wlist is not None:
+        state.notify(posix.process_exit_wlist, wake_all=True)
+    raise ExitProcess(ctx.arg(0))
+
+
+def _process_finished(state, pid: int) -> bool:
+    process = state.processes.get(pid)
+    if process is None:
+        return True
+    if not process.alive:
+        return True
+    return all(t.status == ThreadStatus.TERMINATED for t in process.threads.values())
+
+
+def posix_waitpid(ctx: NativeContext):
+    """``waitpid(pid)``: block until the child exits; returns its exit code."""
+    pid = ctx.concrete_arg(0)
+    state = ctx.state
+    process = state.processes.get(pid)
+    if process is None:
+        return ERR  # ECHILD
+    if _process_finished(state, pid):
+        code = process.exit_code
+        if code is None:
+            # The child's main thread returned instead of calling exit().
+            main_thread = process.threads.get(0)
+            code = main_thread.exit_value if main_thread is not None else 0
+        return code
+    # Also register as a joiner of the child's main thread so that a child
+    # that simply returns from its entry function (without calling exit())
+    # still wakes the waiter.
+    main_thread = process.threads.get(0)
+    me = state.current
+    if main_thread is not None and me not in main_thread.joiners:
+        main_thread.joiners.append(me)
+    raise Block(ensure_process_exit_wlist(state))
+
+
+HANDLERS = {
+    "fork": posix_fork,
+    "getpid": posix_getpid,
+    "getppid": posix_getppid,
+    "waitpid": posix_waitpid,
+    # exit() with waiter notification replaces the engine's bare exit.
+    "exit": posix_exit,
+}

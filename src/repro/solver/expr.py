@@ -1,0 +1,547 @@
+"""Bitvector/boolean expression language.
+
+Expressions are immutable, structurally hashable trees.  Bitvector values are
+unsigned integers interpreted modulo ``2**width``; signed comparisons use
+two's-complement interpretation.  The expression language intentionally covers
+only what the symbolic execution engine emits: arithmetic, bitwise operations,
+shifts, concatenation/extraction, comparisons and boolean connectives.
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import Iterable, Optional, Sequence, Tuple
+
+
+class Op(enum.Enum):
+    """Operators of the expression language."""
+
+    # Leaf nodes
+    BV_CONST = "bv_const"
+    BOOL_CONST = "bool_const"
+    BV_SYMBOL = "bv_symbol"
+
+    # Bitvector arithmetic
+    ADD = "add"
+    SUB = "sub"
+    MUL = "mul"
+    UDIV = "udiv"
+    UREM = "urem"
+
+    # Bitwise
+    AND = "and"
+    OR = "or"
+    XOR = "xor"
+    NOT = "not"
+    SHL = "shl"
+    LSHR = "lshr"
+
+    # Structure
+    CONCAT = "concat"
+    EXTRACT = "extract"
+    ZEXT = "zext"
+
+    # Comparisons (bitvector -> bool)
+    EQ = "eq"
+    NE = "ne"
+    ULT = "ult"
+    ULE = "ule"
+    SLT = "slt"
+    SLE = "sle"
+
+    # Boolean connectives
+    BOOL_AND = "bool_and"
+    BOOL_OR = "bool_or"
+    BOOL_NOT = "bool_not"
+    ITE = "ite"
+
+
+class Sort:
+    """Base class for expression sorts."""
+
+    __slots__ = ()
+
+
+class BoolSort(Sort):
+    """The boolean sort."""
+
+    __slots__ = ()
+
+    def __repr__(self) -> str:
+        return "Bool"
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, BoolSort)
+
+    def __hash__(self) -> int:
+        return hash("BoolSort")
+
+
+class BvSort(Sort):
+    """A fixed-width bitvector sort."""
+
+    __slots__ = ("width",)
+
+    def __init__(self, width: int):
+        if width <= 0:
+            raise ValueError("bitvector width must be positive, got %r" % width)
+        self.width = width
+
+    def __repr__(self) -> str:
+        return "Bv%d" % self.width
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, BvSort) and other.width == self.width
+
+    def __hash__(self) -> int:
+        return hash(("BvSort", self.width))
+
+    @property
+    def mask(self) -> int:
+        return (1 << self.width) - 1
+
+
+BOOL = BoolSort()
+BV8 = BvSort(8)
+BV16 = BvSort(16)
+BV32 = BvSort(32)
+BV64 = BvSort(64)
+
+
+def _mask(value: int, width: int) -> int:
+    return value & ((1 << width) - 1)
+
+
+def to_signed(value: int, width: int) -> int:
+    """Interpret an unsigned ``width``-bit value as two's-complement."""
+    value = _mask(value, width)
+    if value >= 1 << (width - 1):
+        return value - (1 << width)
+    return value
+
+
+def from_signed(value: int, width: int) -> int:
+    """Encode a (possibly negative) integer as an unsigned ``width``-bit value."""
+    return _mask(value, width)
+
+
+class Expr:
+    """An immutable expression node.
+
+    Instances should be created through the module-level constructor helpers
+    (:func:`bv_const`, :func:`add`, :func:`eq`, ...) which validate sorts.
+    """
+
+    __slots__ = ("op", "args", "sort", "value", "name", "params", "_hash")
+
+    def __init__(
+        self,
+        op: Op,
+        args: Tuple["Expr", ...] = (),
+        sort: Optional[Sort] = None,
+        value: Optional[object] = None,
+        name: Optional[str] = None,
+        params: Tuple[int, ...] = (),
+    ):
+        self.op = op
+        self.args = args
+        self.sort = sort
+        self.value = value
+        self.name = name
+        self.params = params
+        self._hash = hash(
+            (op, args, repr(sort), value, name, params)
+        )
+
+    # -- identity ---------------------------------------------------------
+
+    def __copy__(self) -> "Expr":
+        return self
+
+    def __deepcopy__(self, memo) -> "Expr":
+        # Expressions are immutable; treating them as atoms keeps state
+        # forking cheap (environment-model data may embed symbolic cells).
+        return self
+
+    def __hash__(self) -> int:
+        return self._hash
+
+    def __eq__(self, other: object) -> bool:
+        if self is other:
+            return True
+        if not isinstance(other, Expr):
+            return NotImplemented
+        return (
+            self._hash == other._hash
+            and self.op == other.op
+            and self.value == other.value
+            and self.name == other.name
+            and self.params == other.params
+            and self.sort == other.sort
+            and self.args == other.args
+        )
+
+    # -- introspection ----------------------------------------------------
+
+    @property
+    def is_bool(self) -> bool:
+        return isinstance(self.sort, BoolSort)
+
+    @property
+    def is_bv(self) -> bool:
+        return isinstance(self.sort, BvSort)
+
+    @property
+    def width(self) -> int:
+        if not isinstance(self.sort, BvSort):
+            raise TypeError("expression %r is not a bitvector" % (self,))
+        return self.sort.width
+
+    @property
+    def is_constant(self) -> bool:
+        return self.op in (Op.BV_CONST, Op.BOOL_CONST)
+
+    @property
+    def is_symbol(self) -> bool:
+        return self.op == Op.BV_SYMBOL
+
+    def symbols(self) -> "set[Expr]":
+        """Return the set of symbol leaves appearing in this expression."""
+        out: set[Expr] = set()
+        stack = [self]
+        seen: set[int] = set()
+        while stack:
+            node = stack.pop()
+            if id(node) in seen:
+                continue
+            seen.add(id(node))
+            if node.op == Op.BV_SYMBOL:
+                out.add(node)
+            else:
+                stack.extend(node.args)
+        return out
+
+    def depth(self) -> int:
+        """Height of the expression tree (leaves have depth 1)."""
+        if not self.args:
+            return 1
+        return 1 + max(arg.depth() for arg in self.args)
+
+    # -- printing ---------------------------------------------------------
+
+    def __repr__(self) -> str:
+        if self.op == Op.BV_CONST:
+            return "Bv%d(%d)" % (self.width, self.value)
+        if self.op == Op.BOOL_CONST:
+            return "Bool(%s)" % self.value
+        if self.op == Op.BV_SYMBOL:
+            return "%s:%d" % (self.name, self.width)
+        if self.op == Op.EXTRACT:
+            return "Extract(%d,%d, %r)" % (self.params[0], self.params[1], self.args[0])
+        if self.op == Op.ZEXT:
+            return "ZExt(%d, %r)" % (self.params[0], self.args[0])
+        return "%s(%s)" % (self.op.value, ", ".join(repr(a) for a in self.args))
+
+
+# Subclass aliases kept for readable isinstance checks in client code.
+class BvConst(Expr):
+    __slots__ = ()
+
+
+class BoolConst(Expr):
+    __slots__ = ()
+
+
+class BvSymbol(Expr):
+    __slots__ = ()
+
+
+TRUE = BoolConst(Op.BOOL_CONST, sort=BOOL, value=True)
+FALSE = BoolConst(Op.BOOL_CONST, sort=BOOL, value=False)
+
+
+# -- constructors ----------------------------------------------------------
+
+
+def bv_const(value: int, width: int) -> Expr:
+    """A bitvector constant of the given width (value taken modulo 2**width)."""
+    return BvConst(Op.BV_CONST, sort=BvSort(width), value=_mask(int(value), width))
+
+
+def bool_const(value: bool) -> Expr:
+    return TRUE if value else FALSE
+
+
+def bv_symbol(name: str, width: int = 8) -> Expr:
+    """A free bitvector variable."""
+    if not name:
+        raise ValueError("symbol name must be non-empty")
+    return BvSymbol(Op.BV_SYMBOL, sort=BvSort(width), name=name)
+
+
+def _require_bv(*exprs: Expr) -> None:
+    for e in exprs:
+        if not isinstance(e, Expr) or not e.is_bv:
+            raise TypeError("expected bitvector expression, got %r" % (e,))
+
+
+def _require_same_width(a: Expr, b: Expr) -> None:
+    _require_bv(a, b)
+    if a.width != b.width:
+        raise TypeError(
+            "width mismatch: %d vs %d (%r, %r)" % (a.width, b.width, a, b)
+        )
+
+
+def _require_bool(*exprs: Expr) -> None:
+    for e in exprs:
+        if not isinstance(e, Expr) or not e.is_bool:
+            raise TypeError("expected boolean expression, got %r" % (e,))
+
+
+def _binop(op: Op, a: Expr, b: Expr) -> Expr:
+    _require_same_width(a, b)
+    return Expr(op, (a, b), sort=a.sort)
+
+
+def add(a: Expr, b: Expr) -> Expr:
+    return _binop(Op.ADD, a, b)
+
+
+def sub(a: Expr, b: Expr) -> Expr:
+    return _binop(Op.SUB, a, b)
+
+
+def mul(a: Expr, b: Expr) -> Expr:
+    return _binop(Op.MUL, a, b)
+
+
+def udiv(a: Expr, b: Expr) -> Expr:
+    return _binop(Op.UDIV, a, b)
+
+
+def urem(a: Expr, b: Expr) -> Expr:
+    return _binop(Op.UREM, a, b)
+
+
+def band(a: Expr, b: Expr) -> Expr:
+    return _binop(Op.AND, a, b)
+
+
+def bor(a: Expr, b: Expr) -> Expr:
+    return _binop(Op.OR, a, b)
+
+
+def bxor(a: Expr, b: Expr) -> Expr:
+    return _binop(Op.XOR, a, b)
+
+
+def bnot(a: Expr) -> Expr:
+    _require_bv(a)
+    return Expr(Op.NOT, (a,), sort=a.sort)
+
+
+def shl(a: Expr, b: Expr) -> Expr:
+    return _binop(Op.SHL, a, b)
+
+
+def lshr(a: Expr, b: Expr) -> Expr:
+    return _binop(Op.LSHR, a, b)
+
+
+def concat(high: Expr, low: Expr) -> Expr:
+    """Concatenate two bitvectors; ``high`` supplies the most significant bits."""
+    _require_bv(high, low)
+    return Expr(Op.CONCAT, (high, low), sort=BvSort(high.width + low.width))
+
+
+def extract(expr: Expr, high_bit: int, low_bit: int) -> Expr:
+    """Extract bits ``[high_bit:low_bit]`` (inclusive) from a bitvector."""
+    _require_bv(expr)
+    if not (0 <= low_bit <= high_bit < expr.width):
+        raise ValueError(
+            "invalid extract range [%d:%d] on width %d" % (high_bit, low_bit, expr.width)
+        )
+    return Expr(
+        Op.EXTRACT,
+        (expr,),
+        sort=BvSort(high_bit - low_bit + 1),
+        params=(high_bit, low_bit),
+    )
+
+
+def zext(expr: Expr, new_width: int) -> Expr:
+    """Zero-extend a bitvector to ``new_width`` bits."""
+    _require_bv(expr)
+    if new_width < expr.width:
+        raise ValueError("cannot zero-extend width %d to %d" % (expr.width, new_width))
+    if new_width == expr.width:
+        return expr
+    return Expr(Op.ZEXT, (expr,), sort=BvSort(new_width), params=(new_width,))
+
+
+def eq(a: Expr, b: Expr) -> Expr:
+    _require_same_width(a, b)
+    return Expr(Op.EQ, (a, b), sort=BOOL)
+
+
+def ne(a: Expr, b: Expr) -> Expr:
+    _require_same_width(a, b)
+    return Expr(Op.NE, (a, b), sort=BOOL)
+
+
+def ult(a: Expr, b: Expr) -> Expr:
+    _require_same_width(a, b)
+    return Expr(Op.ULT, (a, b), sort=BOOL)
+
+
+def ule(a: Expr, b: Expr) -> Expr:
+    _require_same_width(a, b)
+    return Expr(Op.ULE, (a, b), sort=BOOL)
+
+
+def ugt(a: Expr, b: Expr) -> Expr:
+    return ult(b, a)
+
+
+def uge(a: Expr, b: Expr) -> Expr:
+    return ule(b, a)
+
+
+def slt(a: Expr, b: Expr) -> Expr:
+    _require_same_width(a, b)
+    return Expr(Op.SLT, (a, b), sort=BOOL)
+
+
+def sle(a: Expr, b: Expr) -> Expr:
+    _require_same_width(a, b)
+    return Expr(Op.SLE, (a, b), sort=BOOL)
+
+
+def sgt(a: Expr, b: Expr) -> Expr:
+    return slt(b, a)
+
+
+def sge(a: Expr, b: Expr) -> Expr:
+    return sle(b, a)
+
+
+def logical_and(*exprs: Expr) -> Expr:
+    """N-ary boolean conjunction (folded left, empty conjunction is TRUE)."""
+    _require_bool(*exprs)
+    if not exprs:
+        return TRUE
+    out = exprs[0]
+    for e in exprs[1:]:
+        out = Expr(Op.BOOL_AND, (out, e), sort=BOOL)
+    return out
+
+
+def logical_or(*exprs: Expr) -> Expr:
+    """N-ary boolean disjunction (folded left, empty disjunction is FALSE)."""
+    _require_bool(*exprs)
+    if not exprs:
+        return FALSE
+    out = exprs[0]
+    for e in exprs[1:]:
+        out = Expr(Op.BOOL_OR, (out, e), sort=BOOL)
+    return out
+
+
+def logical_not(expr: Expr) -> Expr:
+    _require_bool(expr)
+    return Expr(Op.BOOL_NOT, (expr,), sort=BOOL)
+
+
+def implies(a: Expr, b: Expr) -> Expr:
+    return logical_or(logical_not(a), b)
+
+
+def ite(cond: Expr, then: Expr, otherwise: Expr) -> Expr:
+    """If-then-else over bitvector or boolean branches of equal sort."""
+    _require_bool(cond)
+    if then.sort != otherwise.sort:
+        raise TypeError(
+            "ite branch sorts differ: %r vs %r" % (then.sort, otherwise.sort)
+        )
+    return Expr(Op.ITE, (cond, then, otherwise), sort=then.sort)
+
+
+def concat_bytes(byte_exprs: Sequence[Expr]) -> Expr:
+    """Concatenate 8-bit expressions big-endian into one wide bitvector."""
+    if not byte_exprs:
+        raise ValueError("cannot concatenate an empty byte sequence")
+    out = byte_exprs[0]
+    for b in byte_exprs[1:]:
+        out = concat(out, b)
+    return out
+
+
+def evaluate(expr: Expr, assignment: "dict[Expr, int]") -> object:
+    """Evaluate ``expr`` under a full assignment of symbol -> unsigned int.
+
+    Returns an ``int`` for bitvector expressions and a ``bool`` for boolean
+    expressions.  Raises ``KeyError`` when a symbol is unassigned.
+    """
+    op = expr.op
+    if op == Op.BV_CONST:
+        return expr.value
+    if op == Op.BOOL_CONST:
+        return expr.value
+    if op == Op.BV_SYMBOL:
+        return _mask(assignment[expr], expr.width)
+
+    args = [evaluate(a, assignment) for a in expr.args]
+
+    if op == Op.ADD:
+        return _mask(args[0] + args[1], expr.width)
+    if op == Op.SUB:
+        return _mask(args[0] - args[1], expr.width)
+    if op == Op.MUL:
+        return _mask(args[0] * args[1], expr.width)
+    if op == Op.UDIV:
+        return expr.sort.mask if args[1] == 0 else _mask(args[0] // args[1], expr.width)
+    if op == Op.UREM:
+        return args[0] if args[1] == 0 else _mask(args[0] % args[1], expr.width)
+    if op == Op.AND:
+        return args[0] & args[1]
+    if op == Op.OR:
+        return args[0] | args[1]
+    if op == Op.XOR:
+        return args[0] ^ args[1]
+    if op == Op.NOT:
+        return _mask(~args[0], expr.width)
+    if op == Op.SHL:
+        return 0 if args[1] >= expr.width else _mask(args[0] << args[1], expr.width)
+    if op == Op.LSHR:
+        return 0 if args[1] >= expr.width else args[0] >> args[1]
+    if op == Op.CONCAT:
+        return (args[0] << expr.args[1].width) | args[1]
+    if op == Op.EXTRACT:
+        high, low = expr.params
+        return (args[0] >> low) & ((1 << (high - low + 1)) - 1)
+    if op == Op.ZEXT:
+        return args[0]
+    if op == Op.EQ:
+        return args[0] == args[1]
+    if op == Op.NE:
+        return args[0] != args[1]
+    if op == Op.ULT:
+        return args[0] < args[1]
+    if op == Op.ULE:
+        return args[0] <= args[1]
+    if op == Op.SLT:
+        w = expr.args[0].width
+        return to_signed(args[0], w) < to_signed(args[1], w)
+    if op == Op.SLE:
+        w = expr.args[0].width
+        return to_signed(args[0], w) <= to_signed(args[1], w)
+    if op == Op.BOOL_AND:
+        return args[0] and args[1]
+    if op == Op.BOOL_OR:
+        return args[0] or args[1]
+    if op == Op.BOOL_NOT:
+        return not args[0]
+    if op == Op.ITE:
+        return args[1] if args[0] else args[2]
+    raise NotImplementedError("evaluate: unhandled operator %r" % op)

@@ -1,0 +1,46 @@
+"""Satisfying assignments (models) produced by the solver."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, Mapping
+
+from repro.solver.expr import Expr, evaluate
+
+
+@dataclass
+class Model:
+    """A complete assignment of symbols to unsigned integer values.
+
+    The engine uses models to concretize symbolic inputs when generating test
+    cases (the "inputs that take the program to the bug" of the paper).
+    """
+
+    assignment: Dict[Expr, int] = field(default_factory=dict)
+
+    def value_of(self, symbol: Expr, default: int = 0) -> int:
+        """The assigned value for ``symbol`` (0 for don't-care symbols)."""
+        return self.assignment.get(symbol, default)
+
+    def evaluate(self, expr: Expr) -> object:
+        """Evaluate an expression under this model (don't-cares default to 0)."""
+        assignment = dict(self.assignment)
+        for sym in expr.symbols():
+            assignment.setdefault(sym, 0)
+        return evaluate(expr, assignment)
+
+    def satisfies(self, constraints: Iterable[Expr]) -> bool:
+        """Whether every constraint evaluates to True under this model."""
+        return all(bool(self.evaluate(c)) for c in constraints)
+
+    def as_bytes(self, symbols: Iterable[Expr]) -> bytes:
+        """Concretize a sequence of byte-sized symbols into a bytes object."""
+        return bytes(self.value_of(s) & 0xFF for s in symbols)
+
+    def merged_with(self, other: Mapping[Expr, int]) -> "Model":
+        merged = dict(self.assignment)
+        merged.update(other)
+        return Model(merged)
+
+    def __len__(self) -> int:
+        return len(self.assignment)

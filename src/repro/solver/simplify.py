@@ -1,0 +1,275 @@
+"""Expression simplification: constant folding and algebraic identities.
+
+The engine calls :func:`simplify` on every branch condition before adding it
+to a path constraint.  Keeping expressions small is the single biggest lever
+on solver performance, exactly as in KLEE/Cloud9 where the constraint
+simplifier and caches sit in front of STP.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+from repro.solver.expr import (
+    BOOL,
+    Expr,
+    Op,
+    TRUE,
+    FALSE,
+    bool_const,
+    bv_const,
+    evaluate,
+)
+
+
+def _fold_concrete(expr: Expr) -> Expr:
+    """Fold an expression whose children are all constants."""
+    value = evaluate(expr, {})
+    if expr.is_bool:
+        return bool_const(bool(value))
+    return bv_const(int(value), expr.width)
+
+
+def simplify(expr: Expr, _cache: Dict[Expr, Expr] = None) -> Expr:
+    """Return a semantically equivalent, usually smaller, expression."""
+    if _cache is None:
+        _cache = {}
+    cached = _cache.get(expr)
+    if cached is not None:
+        return cached
+
+    if expr.op in (Op.BV_CONST, Op.BOOL_CONST, Op.BV_SYMBOL):
+        _cache[expr] = expr
+        return expr
+
+    args = tuple(simplify(a, _cache) for a in expr.args)
+    node = Expr(expr.op, args, sort=expr.sort, value=expr.value,
+                name=expr.name, params=expr.params)
+
+    if all(a.is_constant for a in args):
+        out = _fold_concrete(node)
+        _cache[expr] = out
+        return out
+
+    out = _apply_identities(node)
+    _cache[expr] = out
+    return out
+
+
+def _is_zero(e: Expr) -> bool:
+    return e.op == Op.BV_CONST and e.value == 0
+
+
+def _is_all_ones(e: Expr) -> bool:
+    return e.op == Op.BV_CONST and e.value == e.sort.mask
+
+
+def _apply_identities(expr: Expr) -> Expr:
+    op = expr.op
+    args = expr.args
+
+    if op == Op.ADD:
+        a, b = args
+        if _is_zero(a):
+            return b
+        if _is_zero(b):
+            return a
+    elif op == Op.SUB:
+        a, b = args
+        if _is_zero(b):
+            return a
+        if a == b:
+            return bv_const(0, expr.width)
+    elif op == Op.MUL:
+        a, b = args
+        if _is_zero(a) or _is_zero(b):
+            return bv_const(0, expr.width)
+        if a.op == Op.BV_CONST and a.value == 1:
+            return b
+        if b.op == Op.BV_CONST and b.value == 1:
+            return a
+    elif op == Op.AND:
+        a, b = args
+        if _is_zero(a) or _is_zero(b):
+            return bv_const(0, expr.width)
+        if _is_all_ones(a):
+            return b
+        if _is_all_ones(b):
+            return a
+        if a == b:
+            return a
+    elif op == Op.OR:
+        a, b = args
+        if _is_zero(a):
+            return b
+        if _is_zero(b):
+            return a
+        if _is_all_ones(a) or _is_all_ones(b):
+            return bv_const(expr.sort.mask, expr.width)
+        if a == b:
+            return a
+    elif op == Op.XOR:
+        a, b = args
+        if a == b:
+            return bv_const(0, expr.width)
+        if _is_zero(a):
+            return b
+        if _is_zero(b):
+            return a
+    elif op in (Op.SHL, Op.LSHR):
+        a, b = args
+        if _is_zero(b):
+            return a
+        if _is_zero(a):
+            return bv_const(0, expr.width)
+    elif op == Op.ZEXT:
+        (a,) = args
+        if a.op == Op.ZEXT:
+            return Expr(Op.ZEXT, (a.args[0],), sort=expr.sort, params=expr.params)
+    elif op == Op.EXTRACT:
+        (a,) = args
+        high, low = expr.params
+        if low == 0 and high == a.width - 1:
+            return a
+    elif op == Op.EQ:
+        a, b = args
+        if a == b:
+            return TRUE
+        folded = _fold_ite_comparison(a, b, negate=False)
+        if folded is not None:
+            return folded
+        folded = _fold_ite_comparison(b, a, negate=False)
+        if folded is not None:
+            return folded
+    elif op == Op.NE:
+        a, b = args
+        if a == b:
+            return FALSE
+        folded = _fold_ite_comparison(a, b, negate=True)
+        if folded is not None:
+            return folded
+        folded = _fold_ite_comparison(b, a, negate=True)
+        if folded is not None:
+            return folded
+    elif op == Op.ULT:
+        a, b = args
+        if a == b:
+            return FALSE
+        if _is_zero(b):
+            return FALSE
+    elif op == Op.ULE:
+        a, b = args
+        if a == b:
+            return TRUE
+        if _is_zero(a):
+            return TRUE
+    elif op in (Op.SLT,):
+        a, b = args
+        if a == b:
+            return FALSE
+    elif op in (Op.SLE,):
+        a, b = args
+        if a == b:
+            return TRUE
+    elif op == Op.BOOL_AND:
+        a, b = args
+        if a == FALSE or b == FALSE:
+            return FALSE
+        if a == TRUE:
+            return b
+        if b == TRUE:
+            return a
+        if a == b:
+            return a
+    elif op == Op.BOOL_OR:
+        a, b = args
+        if a == TRUE or b == TRUE:
+            return TRUE
+        if a == FALSE:
+            return b
+        if b == FALSE:
+            return a
+        if a == b:
+            return a
+    elif op == Op.BOOL_NOT:
+        (a,) = args
+        if a == TRUE:
+            return FALSE
+        if a == FALSE:
+            return TRUE
+        if a.op == Op.BOOL_NOT:
+            return a.args[0]
+        # Push negation into comparisons: not(a == b) -> a != b, etc.
+        negations = {
+            Op.EQ: Op.NE,
+            Op.NE: Op.EQ,
+            Op.ULT: Op.ULE,   # not(a < b)  -> b <= a
+            Op.ULE: Op.ULT,   # not(a <= b) -> b < a
+            Op.SLT: Op.SLE,
+            Op.SLE: Op.SLT,
+        }
+        if a.op in (Op.EQ, Op.NE):
+            return Expr(negations[a.op], a.args, sort=a.sort)
+        if a.op in (Op.ULT, Op.ULE, Op.SLT, Op.SLE):
+            return Expr(negations[a.op], (a.args[1], a.args[0]), sort=a.sort)
+    elif op == Op.ITE:
+        cond, then, otherwise = args
+        if cond == TRUE:
+            return then
+        if cond == FALSE:
+            return otherwise
+        if then == otherwise:
+            return then
+
+    return expr
+
+
+def _fold_ite_comparison(lhs: Expr, rhs: Expr, negate: bool):
+    """Rewrite ``ite(c, k1, k2) ==/!= k`` into ``c`` / ``not c`` when possible.
+
+    The engine encodes C-style comparison results as ``ite(cond, 1, 0)`` and
+    then branches on "result != 0"; folding the pattern back to ``cond`` keeps
+    path constraints flat, which is the single most important simplification
+    for solver performance on parser-style code.
+    """
+    if lhs.op != Op.ITE or rhs.op != Op.BV_CONST:
+        return None
+    cond, then_branch, else_branch = lhs.args
+    if then_branch.op != Op.BV_CONST or else_branch.op != Op.BV_CONST:
+        return None
+    then_matches = then_branch.value == rhs.value
+    else_matches = else_branch.value == rhs.value
+    if then_matches and not else_matches:
+        # eq -> cond; ne -> not cond.
+        result = cond
+    elif else_matches and not then_matches:
+        result = _apply_identities(Expr(Op.BOOL_NOT, (cond,), sort=BOOL))
+    elif not then_matches and not else_matches:
+        # Never equal to the constant.
+        result = FALSE
+    else:
+        # Both branches equal the constant: always equal.
+        result = TRUE
+    if negate:
+        if result is TRUE:
+            return FALSE
+        if result is FALSE:
+            return TRUE
+        return _apply_identities(Expr(Op.BOOL_NOT, (result,), sort=BOOL))
+    return result
+
+
+def conjuncts(expr: Expr) -> "list[Expr]":
+    """Split a boolean expression into its top-level conjuncts."""
+    if expr.op != Op.BOOL_AND:
+        return [expr]
+    out: list[Expr] = []
+    stack = [expr]
+    while stack:
+        node = stack.pop()
+        if node.op == Op.BOOL_AND:
+            stack.extend(node.args)
+        else:
+            out.append(node)
+    out.reverse()
+    return out

@@ -1,0 +1,338 @@
+"""Feasibility checking and model generation.
+
+The solver answers the only two questions the symbolic execution engine asks:
+
+* ``is_satisfiable(constraints)`` -- may this path be followed?
+* ``get_model(constraints)`` -- concrete inputs that follow this path
+  (used to emit test cases for bugs, exactly as in the paper).
+
+Algorithm: simplify every constraint, propagate unsigned interval bounds for
+each free symbol to a fixpoint, then run a backtracking enumeration over the
+(now narrowed) symbol domains.  Candidate values are tried in a
+constraint-guided order (domain endpoints, constants appearing in the
+constraints, then a sweep).  Queries in the paper's workloads involve
+byte-granular symbols (packet bytes, header characters), for which this
+terminates quickly; a configurable step budget bounds pathological cases.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+from repro.solver.cache import ConstraintCache, CounterexampleCache
+from repro.solver.expr import Expr, Op, evaluate
+from repro.solver.interval import Interval, full_interval, refine_bounds, truth_of
+from repro.solver.model import Model
+from repro.solver.simplify import conjuncts, simplify
+
+
+class SolverError(Exception):
+    """Raised when the solver exhausts its step budget on a query."""
+
+
+class SolverResult(enum.Enum):
+    SAT = "sat"
+    UNSAT = "unsat"
+    UNKNOWN = "unknown"
+
+
+@dataclass
+class SolverStats:
+    """Counters exposed for the evaluation harness."""
+
+    queries: int = 0
+    sat_queries: int = 0
+    unsat_queries: int = 0
+    unknown_queries: int = 0
+    cache_hits: int = 0
+    search_steps: int = 0
+
+    def snapshot(self) -> Dict[str, int]:
+        return {
+            "queries": self.queries,
+            "sat_queries": self.sat_queries,
+            "unsat_queries": self.unsat_queries,
+            "unknown_queries": self.unknown_queries,
+            "cache_hits": self.cache_hits,
+            "search_steps": self.search_steps,
+        }
+
+
+@dataclass
+class SolverConfig:
+    max_search_steps: int = 200_000
+    max_candidates_per_symbol: int = 512
+    use_constraint_cache: bool = True
+    use_counterexample_cache: bool = True
+    propagation_rounds: int = 8
+
+
+class Solver:
+    """Bitvector constraint solver with caching."""
+
+    def __init__(self, config: Optional[SolverConfig] = None):
+        self.config = config or SolverConfig()
+        self.stats = SolverStats()
+        self._cache = ConstraintCache()
+        self._cex_cache = CounterexampleCache()
+        # Recently found models: checking a new query against them is far
+        # cheaper than a fresh search and succeeds very often because path
+        # constraints grow incrementally.
+        self._recent_models: List[Model] = []
+        self._recent_model_limit = 12
+
+    # -- public API ---------------------------------------------------------
+
+    def is_satisfiable(self, constraints: Iterable[Expr]) -> bool:
+        """True iff the conjunction of ``constraints`` has a model.
+
+        Unknown results (budget exhaustion) are treated as satisfiable so the
+        engine errs on the side of exploring a path rather than silently
+        pruning it -- the same conservative policy KLEE applies on solver
+        timeouts.
+        """
+        result, _ = self.check(constraints)
+        return result != SolverResult.UNSAT
+
+    def get_model(self, constraints: Iterable[Expr]) -> Optional[Model]:
+        """A model of the constraints, or None if unsatisfiable/unknown."""
+        result, model = self.check(constraints)
+        if result == SolverResult.SAT:
+            return model
+        return None
+
+    def check(self, constraints: Iterable[Expr]) -> Tuple[SolverResult, Optional[Model]]:
+        """Check satisfiability and return ``(result, model_or_None)``."""
+        self.stats.queries += 1
+        simplified: List[Expr] = []
+        for c in constraints:
+            s = simplify(c)
+            for conj in conjuncts(s):
+                if conj.op == Op.BOOL_CONST:
+                    if not conj.value:
+                        self.stats.unsat_queries += 1
+                        return SolverResult.UNSAT, None
+                    continue
+                simplified.append(conj)
+
+        if not simplified:
+            self.stats.sat_queries += 1
+            return SolverResult.SAT, Model({})
+
+        if self.config.use_constraint_cache:
+            hit = self._cache.lookup(simplified)
+            if hit is not None:
+                self.stats.cache_hits += 1
+                self._count(hit[0])
+                return (SolverResult.SAT if hit[0] else SolverResult.UNSAT), hit[1]
+        if self.config.use_counterexample_cache:
+            hit = self._cex_cache.lookup(simplified)
+            if hit is not None:
+                self.stats.cache_hits += 1
+                self._count(hit[0])
+                self._cache.insert(simplified, hit[0], hit[1])
+                return (SolverResult.SAT if hit[0] else SolverResult.UNSAT), hit[1]
+
+        # Fast path: one of the recently found models may already satisfy the
+        # query (new queries are usually "previous path constraint plus one
+        # more branch condition").
+        for recent in reversed(self._recent_models):
+            if recent.satisfies(simplified):
+                self.stats.cache_hits += 1
+                self.stats.sat_queries += 1
+                if self.config.use_constraint_cache:
+                    self._cache.insert(simplified, True, recent)
+                if self.config.use_counterexample_cache:
+                    self._cex_cache.insert(simplified, True, recent)
+                return SolverResult.SAT, recent
+
+        try:
+            model = self._solve(simplified)
+        except SolverError:
+            self.stats.unknown_queries += 1
+            return SolverResult.UNKNOWN, None
+
+        is_sat = model is not None
+        self._count(is_sat)
+        if is_sat:
+            self._recent_models.append(model)
+            if len(self._recent_models) > self._recent_model_limit:
+                self._recent_models.pop(0)
+        if self.config.use_constraint_cache:
+            self._cache.insert(simplified, is_sat, model)
+        if self.config.use_counterexample_cache:
+            self._cex_cache.insert(simplified, is_sat, model)
+        return (SolverResult.SAT if is_sat else SolverResult.UNSAT), model
+
+    def reset_caches(self) -> None:
+        """Drop all cached results (used when simulating job migration)."""
+        self._cache.clear()
+        self._cex_cache.clear()
+        self._recent_models.clear()
+
+    @property
+    def cache_stats(self) -> Dict[str, float]:
+        return {
+            "constraint_cache_entries": len(self._cache),
+            "constraint_cache_hit_rate": self._cache.stats.hit_rate,
+            "cex_cache_entries": len(self._cex_cache),
+            "cex_cache_hit_rate": self._cex_cache.stats.hit_rate,
+        }
+
+    # -- internals ----------------------------------------------------------
+
+    def _count(self, is_sat: bool) -> None:
+        if is_sat:
+            self.stats.sat_queries += 1
+        else:
+            self.stats.unsat_queries += 1
+
+    def _solve(self, constraints: Sequence[Expr]) -> Optional[Model]:
+        # Cheap syntactic contradiction check: a constraint and its negation
+        # in the same set (very common right after a fork re-tests the same
+        # condition) is unsatisfiable without any search.
+        constraint_set = set(constraints)
+        for c in constraints:
+            negated = simplify(Expr(Op.BOOL_NOT, (c,), sort=c.sort))
+            if negated in constraint_set:
+                return None
+
+        symbols = sorted(
+            {s for c in constraints for s in c.symbols()},
+            key=lambda s: (s.name or "", s.width),
+        )
+        bounds: Dict[Expr, Interval] = {s: full_interval(s.width) for s in symbols}
+
+        # Bounds propagation to a fixpoint (bounded number of rounds).
+        for _ in range(self.config.propagation_rounds):
+            changed = False
+            for c in constraints:
+                verdict = truth_of(c, bounds)
+                if verdict is False:
+                    return None
+                bounds, c_changed = refine_bounds(c, bounds)
+                changed = changed or c_changed
+            for iv in bounds.values():
+                if iv.is_empty:
+                    return None
+            if not changed:
+                break
+
+        # If intervals already prove every constraint, any in-bounds point works.
+        if all(truth_of(c, bounds) is True for c in constraints):
+            return Model({s: bounds[s].lo for s in symbols})
+
+        constants = self._interesting_constants(constraints)
+        order = self._variable_order(symbols, constraints)
+
+        # Index constraints by the symbols they mention so the backtracking
+        # search only re-checks constraints affected by the latest assignment.
+        constraint_symbols: Dict[Expr, frozenset] = {
+            c: frozenset(c.symbols()) for c in constraints
+        }
+        affected: Dict[Expr, List[Expr]] = {s: [] for s in symbols}
+        for c, syms in constraint_symbols.items():
+            for s in syms:
+                affected[s].append(c)
+
+        assignment: Dict[Expr, int] = {}
+        budget = [self.config.max_search_steps]
+        if self._search(order, 0, assignment, bounds, constraints,
+                        constraint_symbols, affected, constants, budget):
+            return Model(dict(assignment))
+        return None
+
+    def _variable_order(self, symbols: Sequence[Expr],
+                        constraints: Sequence[Expr]) -> List[Expr]:
+        """Most-constrained-first variable ordering."""
+        counts = {s: 0 for s in symbols}
+        for c in constraints:
+            for s in c.symbols():
+                counts[s] += 1
+        return sorted(symbols, key=lambda s: (-counts[s], s.name or ""))
+
+    def _interesting_constants(self, constraints: Sequence[Expr]) -> List[int]:
+        values: set[int] = set()
+        stack = list(constraints)
+        while stack:
+            node = stack.pop()
+            if node.op == Op.BV_CONST:
+                values.add(node.value)
+                values.add(node.value + 1)
+                if node.value > 0:
+                    values.add(node.value - 1)
+            stack.extend(node.args)
+        return sorted(values)
+
+    def _candidates(self, symbol: Expr, bounds: Dict[Expr, Interval],
+                    constants: Sequence[int]) -> List[int]:
+        iv = bounds.get(symbol, full_interval(symbol.width))
+        if iv.is_empty:
+            return []
+        out: List[int] = []
+        seen: set[int] = set()
+
+        def push(v: int) -> None:
+            if iv.lo <= v <= iv.hi and v not in seen:
+                seen.add(v)
+                out.append(v)
+
+        push(iv.lo)
+        push(iv.hi)
+        for c in constants:
+            push(c)
+        # Sweep the remaining domain (bounded).
+        limit = self.config.max_candidates_per_symbol
+        step = max(1, iv.size() // max(1, limit - len(out)))
+        v = iv.lo
+        while v <= iv.hi and len(out) < limit:
+            push(v)
+            v += step
+        return out
+
+    def _search(self, order: Sequence[Expr], index: int,
+                assignment: Dict[Expr, int], bounds: Dict[Expr, Interval],
+                constraints: Sequence[Expr],
+                constraint_symbols: Dict[Expr, frozenset],
+                affected: Dict[Expr, List[Expr]],
+                constants: Sequence[int],
+                budget: List[int]) -> bool:
+        if index == len(order):
+            return all(
+                self._holds(c, assignment, constraint_symbols[c]) is True
+                for c in constraints)
+
+        symbol = order[index]
+        to_check = affected.get(symbol, constraints)
+        for value in self._candidates(symbol, bounds, constants):
+            budget[0] -= 1
+            if budget[0] <= 0:
+                raise SolverError("solver step budget exhausted")
+            self.stats.search_steps += 1
+            assignment[symbol] = value
+            # Only constraints mentioning the newly assigned symbol can have
+            # changed status; everything else was already not-violated.
+            consistent = all(
+                self._holds(c, assignment, constraint_symbols[c]) is not False
+                for c in to_check)
+            if consistent:
+                if self._search(order, index + 1, assignment, bounds,
+                                constraints, constraint_symbols, affected,
+                                constants, budget):
+                    return True
+            del assignment[symbol]
+        return False
+
+    def _holds(self, constraint: Expr, assignment: Dict[Expr, int],
+               symbols: frozenset) -> Optional[bool]:
+        """Truth of a constraint under a partial assignment (None if undecided)."""
+        missing = [s for s in symbols if s not in assignment]
+        if not missing:
+            return bool(evaluate(constraint, assignment))
+        bounds = {s: Interval(assignment[s], assignment[s])
+                  for s in symbols if s in assignment}
+        for s in missing:
+            bounds[s] = full_interval(s.width)
+        return truth_of(constraint, bounds)

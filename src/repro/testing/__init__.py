@@ -1,0 +1,21 @@
+"""The symbolic testing platform (paper §5).
+
+A :class:`SymbolicTest` packages a program under test together with the
+environment setup (symbolic data, files, network conditions, fault injection,
+scheduler policy, instruction limits) and can then be run either on a single
+engine ("1-worker Cloud9", i.e. plain KLEE) or on a simulated cluster of any
+size.  :class:`SymbolicTestSuite` groups tests and produces the combined
+coverage accounting used by Table 5.
+"""
+
+from repro.testing.symbolic_test import SymbolicTest
+from repro.testing.suite import SuiteResult, SymbolicTestSuite
+from repro.testing.report import CoverageAccounting, MethodCoverage
+
+__all__ = [
+    "SymbolicTest",
+    "SymbolicTestSuite",
+    "SuiteResult",
+    "CoverageAccounting",
+    "MethodCoverage",
+]

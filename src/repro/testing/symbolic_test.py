@@ -1,0 +1,176 @@
+"""Symbolic test definitions.
+
+A symbolic test encompasses "many similar concrete test cases into a single
+symbolic one" (§5): it names the program under test, how to set up its
+environment (files, sockets, symbolic regions, fault injection, scheduling)
+and the exploration limits.  The same test object can be executed on a single
+engine or farmed out to a Cloud9 cluster.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence, Union
+
+from repro.cluster.coordinator import Cloud9Cluster, ClusterConfig, ClusterResult
+from repro.cluster.static_partition import StaticPartitionCluster, StaticPartitionConfig
+from repro.engine.config import EngineConfig
+from repro.engine.executor import ExplorationResult, SymbolicExecutor
+from repro.engine.state import ExecutionState
+from repro.lang.ast import Program
+from repro.lang.compiler import CompiledProgram, compile_program
+from repro.posix.model import install_posix_model
+
+StateSetup = Callable[[ExecutionState], None]
+
+
+@dataclass
+class SymbolicTest:
+    """A reusable description of one symbolic test.
+
+    Parameters
+    ----------
+    name:
+        Human-readable identifier (shows up in reports).
+    program:
+        The program under test (AST or compiled form); it is compiled once
+        and shared by every engine instance the test creates.
+    setup:
+        Optional callback run on every freshly created initial state; this is
+        where tests pre-populate files, queue datagrams or tweak options
+        (symbolic tests "programmatically orchestrate environment events").
+    options:
+        Initial ``state.options`` entries (e.g. ``max_instructions``,
+        ``fault_injection_all``, ``scheduler_policy``).
+    engine_config:
+        Engine limits/policies shared by all workers.
+    use_posix_model:
+        Install the POSIX environment model (on by default; pure
+        computational targets may turn it off for speed).
+    """
+
+    name: str
+    program: Union[Program, CompiledProgram]
+    setup: Optional[StateSetup] = None
+    options: Dict[str, object] = field(default_factory=dict)
+    engine_config: EngineConfig = field(default_factory=EngineConfig)
+    use_posix_model: bool = True
+    strategy: str = "interleaved"
+
+    def __post_init__(self) -> None:
+        if not isinstance(self.program, CompiledProgram):
+            self.program = compile_program(self.program)
+
+    # -- factories used by both execution modes ----------------------------------------
+
+    def build_executor(self) -> SymbolicExecutor:
+        installers = [install_posix_model] if self.use_posix_model else []
+        return SymbolicExecutor(self.program, config=self.engine_config.copy(),
+                                environment_installers=installers)
+
+    def build_initial_state(self, executor: SymbolicExecutor) -> ExecutionState:
+        state = executor.make_initial_state(options=dict(self.options))
+        if self.setup is not None:
+            self.setup(state)
+        return state
+
+    # -- single-node execution (plain KLEE / 1-worker Cloud9) ----------------------------
+
+    def run_single(self,
+                   max_steps: Optional[int] = None,
+                   max_paths: Optional[int] = None,
+                   max_instructions: Optional[int] = None,
+                   max_wall_time: Optional[float] = None,
+                   coverage_target: Optional[float] = None,
+                   strategy: Optional[str] = None) -> ExplorationResult:
+        executor = self.build_executor()
+        return executor.run(
+            initial_state=lambda: self.build_initial_state(executor),
+            strategy=strategy or self.strategy,
+            max_steps=max_steps,
+            max_paths=max_paths,
+            max_instructions=max_instructions,
+            max_wall_time=max_wall_time,
+            coverage_target=coverage_target,
+        )
+
+    # -- cluster execution -----------------------------------------------------------------
+
+    def build_cluster(self, config: Optional[ClusterConfig] = None) -> Cloud9Cluster:
+        cluster_config = config or ClusterConfig()
+        if cluster_config.strategy is None:
+            cluster_config.strategy = self.strategy
+        return Cloud9Cluster(
+            executor_factory=self.build_executor,
+            state_factory=self.build_initial_state,
+            config=cluster_config,
+        )
+
+    def run_cluster(self, num_workers: int,
+                    instructions_per_round: int = 500,
+                    max_rounds: Optional[int] = None,
+                    target_coverage_percent: Optional[float] = None,
+                    max_paths: Optional[int] = None,
+                    stop_on_first_bug: bool = False,
+                    cluster_config: Optional[ClusterConfig] = None) -> ClusterResult:
+        config = cluster_config or ClusterConfig(
+            num_workers=num_workers,
+            instructions_per_round=instructions_per_round,
+            strategy=self.strategy,
+        )
+        cluster = self.build_cluster(config)
+        return cluster.run(max_rounds=max_rounds,
+                           target_coverage_percent=target_coverage_percent,
+                           max_paths=max_paths,
+                           stop_on_first_bug=stop_on_first_bug)
+
+    # -- static-partitioning baseline (for the ablation benchmarks) -------------------------
+
+    def build_static_cluster(self, config: Optional[StaticPartitionConfig] = None
+                             ) -> StaticPartitionCluster:
+        cluster_config = config or StaticPartitionConfig()
+        if cluster_config.strategy is None:
+            cluster_config.strategy = self.strategy
+        return StaticPartitionCluster(
+            executor_factory=self.build_executor,
+            state_factory=self.build_initial_state,
+            config=cluster_config,
+        )
+
+    def run_static_cluster(self, num_workers: int,
+                           instructions_per_round: int = 500,
+                           max_rounds: Optional[int] = None,
+                           target_coverage_percent: Optional[float] = None,
+                           max_paths: Optional[int] = None,
+                           cluster_config: Optional[StaticPartitionConfig] = None
+                           ) -> ClusterResult:
+        """Run the same test on the §2 static-partitioning strawman."""
+        config = cluster_config or StaticPartitionConfig(
+            num_workers=num_workers,
+            instructions_per_round=instructions_per_round,
+            strategy=self.strategy,
+        )
+        cluster = self.build_static_cluster(config)
+        return cluster.run(max_rounds=max_rounds,
+                           target_coverage_percent=target_coverage_percent,
+                           max_paths=max_paths)
+
+    # -- convenience ---------------------------------------------------------------------------
+
+    @property
+    def line_count(self) -> int:
+        return self.program.line_count
+
+    def with_options(self, **options: object) -> "SymbolicTest":
+        """A copy of this test with additional state options."""
+        merged = dict(self.options)
+        merged.update(options)
+        return SymbolicTest(
+            name=self.name,
+            program=self.program,
+            setup=self.setup,
+            options=merged,
+            engine_config=self.engine_config.copy(),
+            use_posix_model=self.use_posix_model,
+            strategy=self.strategy,
+        )

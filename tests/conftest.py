@@ -1,0 +1,61 @@
+"""Shared fixtures and helper programs for the test suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import lang as L
+from repro.engine import EngineConfig, SymbolicExecutor
+from repro.posix import install_posix_model
+
+
+def branchy_program(buffer_size: int = 3) -> L.Program:
+    """A small program with 3^buffer_size paths over a symbolic buffer."""
+    return L.program(
+        "branchy",
+        L.func(
+            "main", [],
+            L.decl("buf", L.call("cloud9_symbolic_buffer", buffer_size,
+                                 L.strconst("input"))),
+            L.decl("i", 0),
+            L.decl("acc", 0),
+            L.while_(L.lt(L.var("i"), buffer_size),
+                L.decl("c", L.index(L.var("buf"), L.var("i"))),
+                L.if_(L.eq(L.var("c"), ord("A")),
+                      [L.assign("acc", L.add(L.var("acc"), 1))],
+                      [L.if_(L.eq(L.var("c"), ord("B")),
+                             [L.assign("acc", L.add(L.var("acc"), 2))])]),
+                L.assign("i", L.add(L.var("i"), 1)),
+            ),
+            L.ret(L.var("acc")),
+        ),
+    )
+
+
+def single_branch_program() -> L.Program:
+    """Two paths: the first symbolic byte is either '!' or not."""
+    return L.program(
+        "single_branch",
+        L.func(
+            "main", [],
+            L.decl("buf", L.call("cloud9_symbolic_buffer", 1, L.strconst("input"))),
+            L.if_(L.eq(L.index(L.var("buf"), 0), ord("!")), [L.ret(1)], [L.ret(0)]),
+        ),
+    )
+
+
+def make_executor(program: L.Program, posix: bool = False,
+                  config: EngineConfig = None) -> SymbolicExecutor:
+    installers = [install_posix_model] if posix else []
+    return SymbolicExecutor(program, config=config,
+                            environment_installers=installers)
+
+
+@pytest.fixture
+def branchy():
+    return branchy_program()
+
+
+@pytest.fixture
+def single_branch():
+    return single_branch_program()

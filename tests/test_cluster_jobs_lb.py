@@ -1,0 +1,180 @@
+"""Unit tests for job encoding, the load balancer, transport and overlays."""
+
+import pytest
+
+from repro.cluster.jobs import Job, JobTree
+from repro.cluster.load_balancer import LoadBalancer, TransferCommand
+from repro.cluster.overlay import CoverageOverlay, WorkerCoverageView
+from repro.cluster.transport import (
+    LOAD_BALANCER_ID,
+    Message,
+    MessageKind,
+    Transport,
+)
+
+from hypothesis import given, settings, strategies as st
+
+
+class TestJobTree:
+    def test_roundtrip(self):
+        jobs = [Job((0, 1, 0)), Job((0, 1, 1)), Job((1,))]
+        tree = JobTree.from_jobs(jobs)
+        assert sorted(j.path for j in tree.jobs()) == sorted(j.path for j in jobs)
+
+    def test_encode_decode(self):
+        jobs = [Job((0, 0)), Job((0, 1)), Job((2, 0, 1))]
+        tree = JobTree.from_jobs(jobs)
+        decoded = JobTree.decode(tree.encode())
+        assert decoded.jobs() == tree.jobs()
+
+    def test_prefix_sharing_reduces_size(self):
+        jobs = [Job((0, 1, 2, 3, i)) for i in range(8)]
+        tree = JobTree.from_jobs(jobs)
+        assert tree.encoded_size() < JobTree.naive_size(jobs)
+
+    def test_empty_tree(self):
+        tree = JobTree()
+        assert len(tree) == 0
+        assert tree.jobs() == []
+
+    def test_len_counts_terminals(self):
+        tree = JobTree.from_jobs([Job((0,)), Job((0, 1))])
+        assert len(tree) == 2
+
+    @settings(max_examples=50, deadline=None)
+    @given(paths=st.lists(st.lists(st.integers(min_value=0, max_value=3),
+                                   min_size=1, max_size=6),
+                          min_size=1, max_size=10))
+    def test_roundtrip_property(self, paths):
+        jobs = [Job(tuple(p)) for p in paths]
+        tree = JobTree.from_jobs(jobs)
+        assert set(j.path for j in JobTree.decode(tree.encode()).jobs()) == \
+            set(j.path for j in jobs)
+
+
+class TestLoadBalancer:
+    def _lb_with_queues(self, queues, delta=1.0):
+        lb = LoadBalancer(line_count=10, delta=delta)
+        for worker_id, length in queues.items():
+            lb.register_worker(worker_id)
+            lb.receive_status(worker_id, length, 0, 0)
+        return lb
+
+    def test_classification(self):
+        lb = self._lb_with_queues({1: 100, 2: 0, 3: 50, 4: 55})
+        underloaded, ok, overloaded = lb.classify()
+        assert 2 in underloaded
+        assert 1 in overloaded
+
+    def test_balance_pairs_extremes(self):
+        lb = self._lb_with_queues({1: 100, 2: 0, 3: 50, 4: 52})
+        commands = lb.balance()
+        assert commands
+        command = commands[0]
+        assert command.source == 1 and command.destination == 2
+        assert command.job_count == 50
+
+    def test_balance_idle_worker_without_statistical_overload(self):
+        # With two workers sigma is large: the paper's formula alone never
+        # classifies the loaded worker as overloaded, but an idle worker must
+        # still receive work.
+        lb = self._lb_with_queues({1: 40, 2: 0})
+        commands = lb.balance()
+        assert len(commands) == 1
+        assert commands[0] == TransferCommand(source=1, destination=2, job_count=20)
+
+    def test_no_balance_when_even(self):
+        lb = self._lb_with_queues({1: 10, 2: 10, 3: 10})
+        assert lb.balance() == []
+
+    def test_no_balance_for_single_worker(self):
+        lb = self._lb_with_queues({1: 50})
+        assert lb.balance() == []
+
+    def test_balance_respects_min_transfer(self):
+        lb = self._lb_with_queues({1: 1, 2: 0})
+        assert lb.balance() == []
+
+    def test_disabled_balancer(self):
+        lb = self._lb_with_queues({1: 100, 2: 0})
+        lb.enabled = False
+        assert lb.balance() == []
+
+    def test_transfer_log_records_rounds(self):
+        lb = self._lb_with_queues({1: 100, 2: 0})
+        lb.balance(round_index=7)
+        assert lb.transfer_log[0][0] == 7
+
+    def test_queue_length_spread(self):
+        lb = self._lb_with_queues({1: 5, 2: 9})
+        assert lb.queue_length_spread() == (5, 9)
+        assert lb.total_queue_length() == 14
+
+    def test_invalid_delta(self):
+        with pytest.raises(ValueError):
+            LoadBalancer(line_count=10, delta=0)
+
+    def test_coverage_merging_through_status(self):
+        lb = LoadBalancer(line_count=8)
+        lb.register_worker(1)
+        lb.register_worker(2)
+        merged = lb.receive_status(1, 3, 0, 0b0011)
+        assert merged == 0b0011
+        merged = lb.receive_status(2, 3, 0, 0b1100)
+        assert merged == 0b1111
+        assert lb.overlay.covered_count == 4
+
+
+class TestTransport:
+    def test_immediate_delivery(self):
+        transport = Transport()
+        transport.send(Message(MessageKind.STATUS_UPDATE, 1, LOAD_BALANCER_ID))
+        assert transport.pending_count(LOAD_BALANCER_ID) == 1
+        messages = transport.receive_all(LOAD_BALANCER_ID)
+        assert len(messages) == 1
+        assert transport.pending_count() == 0
+
+    def test_delayed_delivery(self):
+        transport = Transport(delivery_delay_rounds=2)
+        transport.send(Message(MessageKind.JOB_TRANSFER, 1, 2))
+        assert transport.receive_all(2) == []
+        transport.advance_round()
+        assert transport.receive_all(2) == []
+        transport.advance_round()
+        assert len(transport.receive_all(2)) == 1
+
+    def test_work_idle_ignores_status_messages(self):
+        transport = Transport()
+        transport.send(Message(MessageKind.STATUS_UPDATE, 1, LOAD_BALANCER_ID))
+        assert transport.work_idle
+        transport.send(Message(MessageKind.JOB_TRANSFER, 1, 2))
+        assert not transport.work_idle
+
+    def test_message_and_byte_counters(self):
+        transport = Transport()
+        transport.send(Message(MessageKind.JOB_TRANSFER, 1, 2), size_hint=10)
+        transport.send(Message(MessageKind.JOB_TRANSFER, 2, 1), size_hint=5)
+        assert transport.messages_sent == 2
+        assert transport.bytes_sent == 15
+
+
+class TestCoverageOverlay:
+    def test_worker_view_and_global_merge(self):
+        overlay = CoverageOverlay(line_count=8)
+        view1 = WorkerCoverageView(8)
+        view2 = WorkerCoverageView(8)
+        view1.cover([0, 1])
+        view2.cover([2])
+        merged = overlay.merge_from_worker(view1.snapshot_bits())
+        merged = overlay.merge_from_worker(view2.snapshot_bits())
+        assert overlay.covered_count == 3
+        new_for_2 = view2.merge_global(merged)
+        assert new_for_2 == {0, 1}
+        assert view2.known_covered() == {0, 1, 2}
+
+    def test_merge_is_monotone(self):
+        overlay = CoverageOverlay(line_count=8)
+        overlay.merge_from_worker(0b1)
+        before = overlay.covered_count
+        overlay.merge_from_worker(0b1)
+        assert overlay.covered_count == before

@@ -1,0 +1,151 @@
+"""Unit tests for worker-level operation: frontier, job transfer, replay."""
+
+from repro.cluster.jobs import JobTree
+from repro.cluster.replay import replay_path
+from repro.cluster.worker import Worker
+from repro.engine import SymbolicExecutor
+from repro.engine.tree import NodeLife, NodeStatus
+from repro.posix import install_posix_model
+
+from conftest import branchy_program
+
+
+def make_worker(worker_id=1, buffer_size=2):
+    program = branchy_program(buffer_size)
+
+    def executor_factory():
+        return SymbolicExecutor(program,
+                                environment_installers=[install_posix_model])
+
+    def state_factory(executor):
+        return executor.make_initial_state()
+
+    worker = Worker(worker_id, executor_factory(), state_factory)
+    return worker
+
+
+class TestSeedAndExplore:
+    def test_seed_creates_root_candidate(self):
+        worker = make_worker()
+        worker.seed()
+        assert worker.queue_length == 1
+        assert worker.tree.root.is_candidate
+        assert worker.tree.root.state is not None
+
+    def test_exploration_completes_all_paths(self):
+        worker = make_worker()
+        worker.seed()
+        while worker.has_work:
+            worker.explore(1000)
+        assert worker.paths_completed == 9
+        assert worker.stats.useful_instructions > 0
+        assert worker.stats.replay_instructions == 0
+
+    def test_explore_respects_budget(self):
+        worker = make_worker()
+        worker.seed()
+        consumed = worker.explore(5)
+        assert consumed >= 5
+        assert worker.has_work
+
+    def test_reserved_worker_id_rejected(self):
+        try:
+            make_worker(worker_id=0)
+            assert False
+        except ValueError:
+            pass
+
+
+class TestJobTransfer:
+    def _worker_with_frontier(self, min_candidates=3):
+        worker = make_worker()
+        worker.seed()
+        while worker.queue_length < min_candidates and worker.has_work:
+            worker.explore(5)
+        return worker
+
+    def test_export_marks_fences_and_shrinks_frontier(self):
+        worker = self._worker_with_frontier()
+        before = worker.queue_length
+        job_tree = worker.export_jobs(2)
+        assert len(job_tree) == 2
+        assert worker.queue_length == before - 2
+        assert len(worker.tree.fences()) == 2
+        assert worker.stats.jobs_exported == 2
+
+    def test_export_more_than_available(self):
+        worker = self._worker_with_frontier()
+        available = worker.queue_length
+        job_tree = worker.export_jobs(available + 10)
+        assert len(job_tree) == available
+
+    def test_export_zero(self):
+        worker = self._worker_with_frontier()
+        assert len(worker.export_jobs(0)) == 0
+
+    def test_import_creates_virtual_candidates(self):
+        source = self._worker_with_frontier()
+        job_tree = source.export_jobs(2)
+        destination = make_worker(worker_id=2)
+        imported = destination.import_jobs(JobTree.decode(job_tree.encode()))
+        assert imported == 2
+        assert destination.queue_length == 2
+        assert all(node.is_virtual for node in destination.candidates.values())
+
+    def test_frontiers_disjoint_after_transfer(self):
+        source = self._worker_with_frontier()
+        job_tree = source.export_jobs(2)
+        destination = make_worker(worker_id=2)
+        destination.import_jobs(job_tree)
+        assert not (source.frontier_paths() & destination.frontier_paths())
+
+    def test_transferred_work_completes_at_destination(self):
+        source = self._worker_with_frontier()
+        total_before = source.paths_completed
+        job_tree = source.export_jobs(2)
+        destination = make_worker(worker_id=2)
+        destination.import_jobs(job_tree)
+        while source.has_work:
+            source.explore(1000)
+        while destination.has_work:
+            destination.explore(1000)
+        # Together the two workers complete exactly the whole tree.
+        assert source.paths_completed + destination.paths_completed == 9
+        assert destination.stats.replay_instructions > 0
+        assert destination.stats.replays >= 1
+
+
+class TestReplay:
+    def test_replay_reconstructs_state(self):
+        source = make_worker()
+        source.seed()
+        while source.queue_length < 2 and source.has_work:
+            source.explore(5)
+        node = max(source.candidates.values(), key=lambda n: len(n.path_from_root()))
+        path = node.path_from_root()
+        assert path, "need a non-root candidate for this test"
+
+        destination = make_worker(worker_id=2)
+        outcome = replay_path(destination.executor, destination.state_factory, path)
+        assert outcome.succeeded
+        assert outcome.state is not None and outcome.state.is_running
+        assert outcome.instructions > 0
+
+    def test_replay_divergent_path_reports_broken(self):
+        destination = make_worker(worker_id=2)
+        outcome = replay_path(destination.executor, destination.state_factory,
+                              [0] * 50)
+        assert outcome.broken
+        assert outcome.reason
+
+    def test_worker_replay_of_imported_job_makes_it_explorable(self):
+        source = make_worker()
+        source.seed()
+        while source.queue_length < 3 and source.has_work:
+            source.explore(5)
+        job_tree = source.export_jobs(1)
+        destination = make_worker(worker_id=2)
+        destination.import_jobs(job_tree)
+        destination.explore(10_000)
+        assert destination.stats.replays == 1
+        assert destination.stats.broken_replays == 0

@@ -1,0 +1,152 @@
+"""Unit tests for symbolic memory: objects, address spaces, CoW domains."""
+
+import pytest
+
+from repro.engine.memory import (
+    AddressSpace,
+    CowDomain,
+    DeterministicAllocator,
+    MemoryError_,
+    MemoryObject,
+)
+from repro.solver import expr as E
+
+
+class TestMemoryObject:
+    def test_read_write(self):
+        obj = MemoryObject(0x1000, 4, name="buf")
+        obj.write_byte(0, 0x41)
+        assert obj.read_byte(0) == 0x41
+        assert obj.read_byte(1) == 0
+
+    def test_out_of_bounds_read(self):
+        obj = MemoryObject(0x1000, 4)
+        with pytest.raises(MemoryError_):
+            obj.read_byte(4)
+
+    def test_out_of_bounds_write(self):
+        obj = MemoryObject(0x1000, 4)
+        with pytest.raises(MemoryError_):
+            obj.write_byte(7, 1)
+
+    def test_read_only_object(self):
+        obj = MemoryObject(0x1000, 4, writable=False)
+        with pytest.raises(MemoryError_):
+            obj.write_byte(0, 1)
+
+    def test_symbolic_cells(self):
+        obj = MemoryObject(0x1000, 2)
+        sym = E.bv_symbol("s", 8)
+        obj.write_byte(0, sym)
+        assert obj.read_byte(0) is sym
+        assert obj.concrete_bytes() is None
+
+    def test_concrete_bytes(self):
+        obj = MemoryObject(0x1000, 2)
+        obj.write_bytes(0, [0x41, 0x42])
+        assert obj.concrete_bytes() == b"AB"
+
+    def test_copy_is_independent(self):
+        obj = MemoryObject(0x1000, 2)
+        clone = obj.copy()
+        clone.write_byte(0, 9)
+        assert obj.read_byte(0) == 0
+
+    def test_negative_size_rejected(self):
+        with pytest.raises(ValueError):
+            MemoryObject(0x1000, -1)
+
+
+class TestDeterministicAllocator:
+    def test_addresses_are_deterministic(self):
+        a = DeterministicAllocator()
+        b = DeterministicAllocator()
+        sizes = [8, 1, 100, 16]
+        assert [a.allocate(s) for s in sizes] == [b.allocate(s) for s in sizes]
+
+    def test_alignment(self):
+        allocator = DeterministicAllocator()
+        first = allocator.allocate(3)
+        second = allocator.allocate(1)
+        assert second % 16 == 0
+        assert second > first
+
+    def test_copy_preserves_cursor(self):
+        allocator = DeterministicAllocator()
+        allocator.allocate(10)
+        clone = allocator.copy()
+        assert clone.allocate(4) == allocator.allocate(4)
+
+
+class TestAddressSpace:
+    def test_bind_resolve(self):
+        space = AddressSpace()
+        obj = MemoryObject(0x2000, 8, name="x")
+        space.bind(obj)
+        found, offset = space.resolve(0x2000)
+        assert found is obj and offset == 0
+
+    def test_interior_pointer_resolution(self):
+        space = AddressSpace()
+        space.bind(MemoryObject(0x2000, 8))
+        found, offset = space.resolve(0x2005)
+        assert offset == 5
+
+    def test_unmapped_access(self):
+        space = AddressSpace()
+        with pytest.raises(MemoryError_):
+            space.resolve(0x9999)
+
+    def test_unbind(self):
+        space = AddressSpace()
+        space.bind(MemoryObject(0x2000, 8))
+        space.unbind(0x2000)
+        assert 0x2000 not in space
+        with pytest.raises(MemoryError_):
+            space.unbind(0x2000)
+
+    def test_clone_copy_on_write(self):
+        space = AddressSpace()
+        space.bind(MemoryObject(0x2000, 4))
+        clone = space.clone()
+        clone.write_byte(0x2000, 0, 0x7)
+        assert space.read_byte(0x2000, 0) == 0
+        assert clone.read_byte(0x2000, 0) == 0x7
+
+    def test_clone_write_in_original_does_not_leak(self):
+        space = AddressSpace()
+        space.bind(MemoryObject(0x2000, 4))
+        clone = space.clone()
+        space.write_byte(0x2000, 1, 0x9)
+        assert clone.read_byte(0x2000, 1) == 0
+
+    def test_len(self):
+        space = AddressSpace()
+        space.bind(MemoryObject(0x2000, 4))
+        space.bind(MemoryObject(0x3000, 4))
+        assert len(space) == 2
+
+
+class TestCowDomain:
+    def test_shared_object_visible(self):
+        domain = CowDomain()
+        obj = MemoryObject(0x4000, 4)
+        domain.share(obj)
+        assert 0x4000 in domain
+        assert obj.shared
+
+    def test_clone_isolates_states(self):
+        domain = CowDomain()
+        obj = MemoryObject(0x4000, 4)
+        domain.share(obj)
+        clone = domain.clone()
+        clone_obj, _ = clone.resolve(0x4000)
+        clone_obj.write_byte(0, 0x5)
+        assert obj.read_byte(0) == 0
+
+    def test_interior_resolution(self):
+        domain = CowDomain()
+        domain.share(MemoryObject(0x4000, 8))
+        resolved = domain.resolve(0x4003)
+        assert resolved is not None and resolved[1] == 3
+        assert domain.resolve(0x9000) is None

@@ -1,0 +1,182 @@
+"""Unit tests for execution states: processes, threads, memory, forking."""
+
+import pytest
+
+from repro import lang as L
+from repro.engine.state import ExecutionState, StateStatus, ThreadStatus
+from repro.lang.compiler import compile_program
+from repro.solver import expr as E
+
+
+def _state() -> ExecutionState:
+    program = compile_program(L.program(
+        "p",
+        L.func("main", [], L.decl("x", L.strconst("hello")), L.ret(0)),
+    ))
+    state = ExecutionState(program)
+    state.create_main_process()
+    return state
+
+
+class TestConstruction:
+    def test_main_process_and_thread(self):
+        state = _state()
+        assert state.current == (1, 0)
+        assert state.current_thread.top.function == "main"
+        assert state.is_running
+
+    def test_data_segment_is_mapped(self):
+        state = _state()
+        address = state.string_address(b"hello")
+        assert bytes(state.mem_read(address, i) for i in range(5)) == b"hello"
+        assert state.mem_read(address, 5) == 0  # NUL terminator
+
+    def test_data_segment_deterministic_across_states(self):
+        assert _state().string_address(b"hello") == _state().string_address(b"hello")
+
+
+class TestMemoryOperations:
+    def test_allocate_and_access(self):
+        state = _state()
+        obj = state.allocate(4, name="buf")
+        state.mem_write(obj.address, 2, 0x7F)
+        assert state.mem_read(obj.address, 2) == 0x7F
+
+    def test_allocation_addresses_deterministic(self):
+        a, b = _state(), _state()
+        assert a.allocate(10).address == b.allocate(10).address
+        assert a.allocate(3).address == b.allocate(3).address
+
+    def test_free(self):
+        state = _state()
+        obj = state.allocate(4)
+        state.free(obj.address)
+        with pytest.raises(Exception):
+            state.mem_read(obj.address, 0)
+
+    def test_make_shared_moves_object_to_cow_domain(self):
+        state = _state()
+        obj = state.allocate(4)
+        state.make_shared(obj.address)
+        _, _, shared = state.resolve(obj.address)
+        assert shared
+
+    def test_shared_object_visible_across_processes(self):
+        state = _state()
+        obj = state.allocate_shared(4, name="shm")
+        child = state.fork_process(state.current_process)
+        state.mem_write(obj.address, 0, 0x55, process=state.processes[1])
+        assert state.mem_read(obj.address, 0, process=child) == 0x55
+
+    def test_private_memory_isolated_across_process_fork(self):
+        state = _state()
+        obj = state.allocate(4)
+        child = state.fork_process(state.current_process)
+        state.mem_write(obj.address, 0, 9, process=state.processes[1])
+        assert state.mem_read(obj.address, 0, process=child) == 0
+
+
+class TestSymbolicInputs:
+    def test_make_symbolic_buffer(self):
+        state = _state()
+        obj, symbols = state.make_symbolic_buffer("input", 3)
+        assert len(symbols) == 3
+        assert state.symbolic_inputs["input"] == symbols
+        assert all(isinstance(c, E.Expr) for c in obj.cells)
+
+    def test_symbol_names_deterministic(self):
+        a, b = _state(), _state()
+        _, syms_a = a.make_symbolic_buffer("input", 2)
+        _, syms_b = b.make_symbolic_buffer("input", 2)
+        assert [s.name for s in syms_a] == [s.name for s in syms_b]
+
+    def test_constraint_deduplication(self):
+        state = _state()
+        x = E.bv_symbol("x", 8)
+        constraint = E.eq(x, E.bv_const(1, 8))
+        state.add_constraint(constraint)
+        state.add_constraint(constraint)
+        assert state.path_constraints.count(constraint) == 1
+
+
+class TestWaitLists:
+    def test_sleep_and_notify_one(self):
+        state = _state()
+        wlist = state.create_wait_list()
+        thread = state.current_thread
+        state.sleep_on(wlist, thread)
+        assert thread.status == ThreadStatus.SLEEPING
+        woken = state.notify(wlist)
+        assert woken == [thread]
+        assert thread.status == ThreadStatus.ENABLED
+
+    def test_notify_all(self):
+        state = _state()
+        wlist = state.create_wait_list()
+        t1 = state.current_thread
+        t2 = state.current_process.new_thread()
+        state.sleep_on(wlist, t1)
+        state.sleep_on(wlist, t2)
+        assert len(state.notify(wlist, wake_all=True)) == 2
+
+    def test_notify_empty_list(self):
+        state = _state()
+        wlist = state.create_wait_list()
+        assert state.notify(wlist) == []
+
+
+class TestForking:
+    def test_fork_isolates_locals(self):
+        state = _state()
+        state.current_thread.top.locals["x"] = 1
+        clone = state.fork()
+        clone.current_thread.top.locals["x"] = 2
+        assert state.current_thread.top.locals["x"] == 1
+
+    def test_fork_isolates_memory(self):
+        state = _state()
+        obj = state.allocate(4)
+        clone = state.fork()
+        clone.mem_write(obj.address, 0, 0x9)
+        assert state.mem_read(obj.address, 0) == 0
+
+    def test_fork_isolates_shared_memory_between_states(self):
+        state = _state()
+        obj = state.allocate_shared(4)
+        clone = state.fork()
+        clone.mem_write(obj.address, 0, 0x9)
+        assert state.mem_read(obj.address, 0) == 0
+
+    def test_fork_isolates_constraints_and_coverage(self):
+        state = _state()
+        clone = state.fork()
+        clone.add_constraint(E.eq(E.bv_symbol("x", 8), E.bv_const(1, 8)))
+        clone.coverage.add(42)
+        assert not state.path_constraints
+        assert 42 not in state.coverage
+
+    def test_fork_isolates_env(self):
+        state = _state()
+        state.env["posixish"] = {"table": {1: "a"}}
+        clone = state.fork()
+        clone.env["posixish"]["table"][1] = "b"
+        assert state.env["posixish"]["table"][1] == "a"
+
+    def test_fork_gets_fresh_state_id(self):
+        state = _state()
+        assert state.fork().state_id != state.state_id
+
+
+class TestTermination:
+    def test_terminate(self):
+        state = _state()
+        state.terminate(3)
+        assert state.status == StateStatus.EXITED
+        assert state.exit_code == 3
+        assert not state.is_running
+
+    def test_terminate_error(self):
+        state = _state()
+        state.terminate_error("report")
+        assert state.status == StateStatus.ERROR
+        assert state.error == "report"

@@ -1,0 +1,166 @@
+"""Unit tests for the expression language (repro.solver.expr)."""
+
+import pytest
+
+from repro.solver import expr as E
+
+
+class TestSorts:
+    def test_bitvector_sort_equality(self):
+        assert E.BvSort(8) == E.BvSort(8)
+        assert E.BvSort(8) != E.BvSort(16)
+        assert E.BoolSort() == E.BoolSort()
+
+    def test_bitvector_sort_mask(self):
+        assert E.BvSort(8).mask == 0xFF
+        assert E.BvSort(32).mask == 0xFFFFFFFF
+
+    def test_invalid_width_rejected(self):
+        with pytest.raises(ValueError):
+            E.BvSort(0)
+
+
+class TestConstruction:
+    def test_constant_masking(self):
+        assert E.bv_const(256, 8).value == 0
+        assert E.bv_const(-1, 8).value == 0xFF
+
+    def test_symbol_requires_name(self):
+        with pytest.raises(ValueError):
+            E.bv_symbol("")
+
+    def test_structural_equality_and_hash(self):
+        a = E.add(E.bv_symbol("x", 8), E.bv_const(1, 8))
+        b = E.add(E.bv_symbol("x", 8), E.bv_const(1, 8))
+        assert a == b
+        assert hash(a) == hash(b)
+        assert a != E.add(E.bv_symbol("y", 8), E.bv_const(1, 8))
+
+    def test_width_mismatch_rejected(self):
+        with pytest.raises(TypeError):
+            E.add(E.bv_symbol("x", 8), E.bv_const(1, 16))
+
+    def test_bool_operand_where_bv_expected(self):
+        with pytest.raises(TypeError):
+            E.add(E.TRUE, E.FALSE)
+
+    def test_comparison_produces_bool(self):
+        cmp_expr = E.ult(E.bv_symbol("x", 8), E.bv_const(10, 8))
+        assert cmp_expr.is_bool
+
+    def test_extract_validation(self):
+        x = E.bv_symbol("x", 8)
+        with pytest.raises(ValueError):
+            E.extract(x, 8, 0)
+        with pytest.raises(ValueError):
+            E.extract(x, 2, 5)
+
+    def test_zext_shrink_rejected(self):
+        with pytest.raises(ValueError):
+            E.zext(E.bv_symbol("x", 16), 8)
+
+    def test_zext_same_width_is_identity(self):
+        x = E.bv_symbol("x", 8)
+        assert E.zext(x, 8) is x
+
+    def test_concat_width(self):
+        x = E.bv_symbol("x", 8)
+        y = E.bv_symbol("y", 8)
+        assert E.concat(x, y).width == 16
+
+    def test_ite_sort_mismatch(self):
+        with pytest.raises(TypeError):
+            E.ite(E.TRUE, E.bv_const(1, 8), E.bv_const(1, 16))
+
+    def test_symbols_collection(self):
+        x = E.bv_symbol("x", 8)
+        y = E.bv_symbol("y", 8)
+        expr = E.add(E.mul(x, y), x)
+        assert expr.symbols() == {x, y}
+
+    def test_depth(self):
+        x = E.bv_symbol("x", 8)
+        assert x.depth() == 1
+        assert E.add(x, E.bv_const(1, 8)).depth() == 2
+
+
+class TestEvaluate:
+    def test_arithmetic_wraps(self):
+        x = E.bv_symbol("x", 8)
+        expr = E.add(x, E.bv_const(200, 8))
+        assert E.evaluate(expr, {x: 100}) == (300 & 0xFF)
+
+    def test_sub_wraps(self):
+        x = E.bv_symbol("x", 8)
+        assert E.evaluate(E.sub(E.bv_const(0, 8), x), {x: 1}) == 0xFF
+
+    def test_division_by_zero_is_all_ones(self):
+        x = E.bv_symbol("x", 8)
+        assert E.evaluate(E.udiv(E.bv_const(5, 8), x), {x: 0}) == 0xFF
+
+    def test_rem_by_zero_returns_lhs(self):
+        x = E.bv_symbol("x", 8)
+        assert E.evaluate(E.urem(E.bv_const(5, 8), x), {x: 0}) == 5
+
+    def test_shift_beyond_width(self):
+        x = E.bv_symbol("x", 8)
+        assert E.evaluate(E.shl(x, E.bv_const(9, 8)), {x: 1}) == 0
+        assert E.evaluate(E.lshr(x, E.bv_const(9, 8)), {x: 255}) == 0
+
+    def test_concat_extract_roundtrip(self):
+        hi = E.bv_symbol("hi", 8)
+        lo = E.bv_symbol("lo", 8)
+        word = E.concat(hi, lo)
+        assignment = {hi: 0xAB, lo: 0xCD}
+        assert E.evaluate(word, assignment) == 0xABCD
+        assert E.evaluate(E.extract(word, 15, 8), assignment) == 0xAB
+        assert E.evaluate(E.extract(word, 7, 0), assignment) == 0xCD
+
+    def test_signed_comparisons(self):
+        x = E.bv_symbol("x", 8)
+        y = E.bv_symbol("y", 8)
+        # 0xFF is -1 signed, so -1 < 1.
+        assert E.evaluate(E.slt(x, y), {x: 0xFF, y: 1}) is True
+        assert E.evaluate(E.ult(x, y), {x: 0xFF, y: 1}) is False
+
+    def test_boolean_connectives(self):
+        x = E.bv_symbol("x", 8)
+        cond = E.logical_and(E.ult(x, E.bv_const(10, 8)),
+                             E.ne(x, E.bv_const(0, 8)))
+        assert E.evaluate(cond, {x: 5}) is True
+        assert E.evaluate(cond, {x: 0}) is False
+        assert E.evaluate(cond, {x: 20}) is False
+
+    def test_implies(self):
+        x = E.bv_symbol("x", 8)
+        expr = E.implies(E.eq(x, E.bv_const(1, 8)), E.ult(x, E.bv_const(5, 8)))
+        assert E.evaluate(expr, {x: 1}) is True
+        assert E.evaluate(expr, {x: 9}) is True  # antecedent false
+
+    def test_ite(self):
+        x = E.bv_symbol("x", 8)
+        expr = E.ite(E.eq(x, E.bv_const(0, 8)), E.bv_const(10, 8), E.bv_const(20, 8))
+        assert E.evaluate(expr, {x: 0}) == 10
+        assert E.evaluate(expr, {x: 3}) == 20
+
+    def test_missing_symbol_raises(self):
+        x = E.bv_symbol("x", 8)
+        with pytest.raises(KeyError):
+            E.evaluate(E.add(x, x), {})
+
+
+class TestSignedHelpers:
+    def test_to_signed(self):
+        assert E.to_signed(0xFF, 8) == -1
+        assert E.to_signed(0x7F, 8) == 127
+        assert E.to_signed(0x80, 8) == -128
+
+    def test_from_signed(self):
+        assert E.from_signed(-1, 8) == 0xFF
+        assert E.from_signed(5, 8) == 5
+
+    def test_concat_bytes(self):
+        cells = [E.bv_const(0x12, 8), E.bv_const(0x34, 8)]
+        assert E.evaluate(E.concat_bytes(cells), {}) == 0x1234
+        with pytest.raises(ValueError):
+            E.concat_bytes([])

@@ -1,0 +1,137 @@
+"""Unit tests for the unsigned interval domain."""
+
+from repro.solver import expr as E
+from repro.solver.interval import (
+    Interval,
+    full_interval,
+    interval_of,
+    refine_bounds,
+    truth_of,
+)
+
+
+X = E.bv_symbol("x", 8)
+Y = E.bv_symbol("y", 8)
+
+
+class TestInterval:
+    def test_basic_properties(self):
+        iv = Interval(3, 10)
+        assert not iv.is_empty
+        assert iv.size() == 8
+        assert iv.contains(3) and iv.contains(10) and not iv.contains(11)
+
+    def test_empty_interval(self):
+        assert Interval(5, 2).is_empty
+        assert Interval(5, 2).size() == 0
+
+    def test_intersect_union(self):
+        a, b = Interval(0, 10), Interval(5, 20)
+        assert a.intersect(b) == Interval(5, 10)
+        assert a.union(b) == Interval(0, 20)
+        assert Interval(0, 1).intersect(Interval(5, 6)).is_empty
+
+
+class TestIntervalOf:
+    def test_constant_and_symbol(self):
+        assert interval_of(E.bv_const(7, 8), {}) == Interval(7, 7)
+        assert interval_of(X, {}) == full_interval(8)
+        assert interval_of(X, {X: Interval(1, 3)}) == Interval(1, 3)
+
+    def test_add_without_overflow(self):
+        expr = E.add(X, E.bv_const(10, 8))
+        assert interval_of(expr, {X: Interval(0, 5)}) == Interval(10, 15)
+
+    def test_add_with_possible_overflow_widens(self):
+        expr = E.add(X, E.bv_const(200, 8))
+        assert interval_of(expr, {X: Interval(0, 100)}) == full_interval(8)
+
+    def test_zext_preserves_interval(self):
+        expr = E.zext(X, 32)
+        assert interval_of(expr, {X: Interval(2, 9)}) == Interval(2, 9)
+
+    def test_concat(self):
+        expr = E.concat(X, Y)
+        iv = interval_of(expr, {X: Interval(1, 1), Y: Interval(0, 255)})
+        assert iv == Interval(256, 511)
+
+    def test_udiv_by_positive(self):
+        expr = E.udiv(X, E.bv_const(2, 8))
+        assert interval_of(expr, {X: Interval(4, 9)}) == Interval(2, 4)
+
+
+class TestTruthOf:
+    def test_decided_comparisons(self):
+        bounds = {X: Interval(0, 5), Y: Interval(10, 20)}
+        assert truth_of(E.ult(X, Y), bounds) is True
+        assert truth_of(E.ult(Y, X), bounds) is False
+        assert truth_of(E.eq(X, Y), bounds) is False
+
+    def test_undecided_comparison(self):
+        bounds = {X: Interval(0, 15), Y: Interval(10, 20)}
+        assert truth_of(E.ult(X, Y), bounds) is None
+
+    def test_point_equality(self):
+        bounds = {X: Interval(4, 4), Y: Interval(4, 4)}
+        assert truth_of(E.eq(X, Y), bounds) is True
+        assert truth_of(E.ne(X, Y), bounds) is False
+
+    def test_connectives(self):
+        bounds = {X: Interval(0, 5)}
+        lt10 = E.ult(X, E.bv_const(10, 8))
+        gt100 = E.ult(E.bv_const(100, 8), X)
+        assert truth_of(E.logical_and(lt10, lt10), bounds) is True
+        assert truth_of(E.logical_or(gt100, lt10), bounds) is True
+        assert truth_of(E.logical_and(lt10, gt100), bounds) is False
+        assert truth_of(E.logical_not(gt100), bounds) is True
+
+    def test_signed_comparison_same_half(self):
+        bounds = {X: Interval(1, 5), Y: Interval(10, 20)}
+        assert truth_of(E.slt(X, Y), bounds) is True
+
+
+class TestRefineBounds:
+    def test_equality_pins_symbol(self):
+        bounds = {X: full_interval(8)}
+        refined, changed = refine_bounds(E.eq(X, E.bv_const(42, 8)), bounds)
+        assert changed
+        assert refined[X] == Interval(42, 42)
+
+    def test_ult_refines_upper_bound(self):
+        bounds = {X: full_interval(8)}
+        refined, changed = refine_bounds(E.ult(X, E.bv_const(10, 8)), bounds)
+        assert changed
+        assert refined[X] == Interval(0, 9)
+
+    def test_ule_lower_side(self):
+        bounds = {X: full_interval(8)}
+        refined, _ = refine_bounds(E.ule(E.bv_const(100, 8), X), bounds)
+        assert refined[X] == Interval(100, 255)
+
+    def test_zext_is_stripped(self):
+        bounds = {X: full_interval(8)}
+        constraint = E.ult(E.zext(X, 32), E.bv_const(5, 32))
+        refined, changed = refine_bounds(constraint, bounds)
+        assert changed
+        assert refined[X] == Interval(0, 4)
+
+    def test_ne_trims_endpoints_only(self):
+        bounds = {X: Interval(0, 255)}
+        refined, changed = refine_bounds(E.ne(X, E.bv_const(0, 8)), bounds)
+        assert changed
+        assert refined[X] == Interval(1, 255)
+        refined2, changed2 = refine_bounds(E.ne(X, E.bv_const(7, 8)), refined)
+        assert not changed2
+        assert refined2[X] == Interval(1, 255)
+
+    def test_conjunction_refines_both_sides(self):
+        bounds = {X: full_interval(8)}
+        constraint = E.logical_and(E.ule(E.bv_const(3, 8), X),
+                                   E.ult(X, E.bv_const(10, 8)))
+        refined, _ = refine_bounds(constraint, bounds)
+        assert refined[X] == Interval(3, 9)
+
+    def test_unchanged_returns_false(self):
+        bounds = {X: Interval(0, 9)}
+        _, changed = refine_bounds(E.ult(X, E.bv_const(10, 8)), bounds)
+        assert not changed

@@ -1,0 +1,100 @@
+"""Property-based tests for the solver substrate (hypothesis)."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.solver import expr as E
+from repro.solver.interval import Interval, interval_of, truth_of
+from repro.solver.model import Model
+from repro.solver.simplify import simplify
+from repro.solver.solver import Solver
+
+
+SYMBOLS = [E.bv_symbol("a", 8), E.bv_symbol("b", 8), E.bv_symbol("c", 8)]
+
+
+def expr_strategy(depth: int = 3):
+    """Random 8-bit bitvector expressions over three symbols."""
+    leaves = st.one_of(
+        st.sampled_from(SYMBOLS),
+        st.integers(min_value=0, max_value=255).map(lambda v: E.bv_const(v, 8)),
+    )
+
+    def extend(children):
+        binops = st.sampled_from([E.add, E.sub, E.mul, E.band, E.bor, E.bxor])
+        return st.builds(lambda op, a, b: op(a, b), binops, children, children)
+
+    return st.recursive(leaves, extend, max_leaves=6)
+
+
+def bool_expr_strategy():
+    comparisons = st.sampled_from([E.eq, E.ne, E.ult, E.ule, E.slt, E.sle])
+    return st.builds(lambda op, a, b: op(a, b), comparisons,
+                     expr_strategy(), expr_strategy())
+
+
+assignments = st.fixed_dictionaries({
+    SYMBOLS[0]: st.integers(min_value=0, max_value=255),
+    SYMBOLS[1]: st.integers(min_value=0, max_value=255),
+    SYMBOLS[2]: st.integers(min_value=0, max_value=255),
+})
+
+
+@settings(max_examples=150, deadline=None)
+@given(expr=expr_strategy(), assignment=assignments)
+def test_simplify_preserves_bitvector_semantics(expr, assignment):
+    assert E.evaluate(simplify(expr), assignment) == E.evaluate(expr, assignment)
+
+
+@settings(max_examples=150, deadline=None)
+@given(expr=bool_expr_strategy(), assignment=assignments)
+def test_simplify_preserves_boolean_semantics(expr, assignment):
+    assert E.evaluate(simplify(expr), assignment) == E.evaluate(expr, assignment)
+
+
+@settings(max_examples=100, deadline=None)
+@given(expr=expr_strategy(), assignment=assignments)
+def test_interval_domain_is_sound(expr, assignment):
+    """The concrete value always lies within the computed interval."""
+    bounds = {s: Interval(v, v) for s, v in assignment.items()}
+    value = E.evaluate(expr, assignment)
+    interval = interval_of(expr, bounds)
+    assert interval.lo <= value <= interval.hi
+
+
+@settings(max_examples=100, deadline=None)
+@given(expr=bool_expr_strategy(), assignment=assignments)
+def test_truth_of_is_sound(expr, assignment):
+    """When the interval domain decides a truth value, it matches reality."""
+    bounds = {s: Interval(v, v) for s, v in assignment.items()}
+    verdict = truth_of(expr, bounds)
+    if verdict is not None:
+        assert verdict == E.evaluate(expr, assignment)
+
+
+@settings(max_examples=60, deadline=None)
+@given(constraint=bool_expr_strategy())
+def test_solver_models_satisfy_their_constraints(constraint):
+    solver = Solver()
+    model = solver.get_model([constraint])
+    if model is not None:
+        assert model.satisfies([constraint])
+
+
+@settings(max_examples=60, deadline=None)
+@given(constraint=bool_expr_strategy(), assignment=assignments)
+def test_solver_never_reports_unsat_for_satisfiable_queries(constraint, assignment):
+    """If a witness exists, the solver must not claim UNSAT."""
+    if E.evaluate(constraint, assignment):
+        solver = Solver()
+        assert solver.is_satisfiable([constraint])
+
+
+@settings(max_examples=60, deadline=None)
+@given(value=st.integers(min_value=0, max_value=255),
+       other=st.integers(min_value=0, max_value=255))
+def test_solver_equality_pair(value, other):
+    """x == v && x == w is satisfiable exactly when v == w."""
+    solver = Solver()
+    x = SYMBOLS[0]
+    constraints = [E.eq(x, E.bv_const(value, 8)), E.eq(x, E.bv_const(other, 8))]
+    assert solver.is_satisfiable(constraints) == (value == other)

@@ -1,0 +1,211 @@
+"""Unit tests for the constraint solver and its caches."""
+
+import pytest
+
+from repro.solver import expr as E
+from repro.solver.cache import ConstraintCache, CounterexampleCache
+from repro.solver.model import Model
+from repro.solver.solver import Solver, SolverConfig, SolverResult
+
+
+X = E.bv_symbol("x", 8)
+Y = E.bv_symbol("y", 8)
+Z = E.bv_symbol("z", 8)
+
+
+class TestSatisfiability:
+    def test_empty_query_is_sat(self):
+        solver = Solver()
+        result, model = solver.check([])
+        assert result == SolverResult.SAT
+        assert model is not None
+
+    def test_simple_equality(self):
+        solver = Solver()
+        model = solver.get_model([E.eq(X, E.bv_const(42, 8))])
+        assert model is not None
+        assert model.value_of(X) == 42
+
+    def test_contradiction_is_unsat(self):
+        solver = Solver()
+        assert not solver.is_satisfiable([
+            E.eq(X, E.bv_const(1, 8)),
+            E.eq(X, E.bv_const(2, 8)),
+        ])
+
+    def test_direct_negation_is_unsat(self):
+        solver = Solver()
+        cond = E.ult(X, E.bv_const(10, 8))
+        assert not solver.is_satisfiable([cond, E.logical_not(cond)])
+
+    def test_range_constraints(self):
+        solver = Solver()
+        model = solver.get_model([
+            E.ule(E.bv_const(100, 8), X),
+            E.ult(X, E.bv_const(110, 8)),
+            E.ne(X, E.bv_const(100, 8)),
+        ])
+        assert model is not None
+        assert 101 <= model.value_of(X) <= 109
+
+    def test_multi_variable(self):
+        solver = Solver()
+        constraints = [
+            E.eq(E.add(X, Y), E.bv_const(10, 8)),
+            E.ult(X, E.bv_const(3, 8)),
+            E.ule(E.bv_const(1, 8), X),
+        ]
+        model = solver.get_model(constraints)
+        assert model is not None
+        assert model.satisfies(constraints)
+
+    def test_unsat_range(self):
+        solver = Solver()
+        assert not solver.is_satisfiable([
+            E.ult(X, E.bv_const(5, 8)),
+            E.ult(E.bv_const(10, 8), X),
+        ])
+
+    def test_boolean_disjunction(self):
+        solver = Solver()
+        constraints = [E.logical_or(E.eq(X, E.bv_const(7, 8)),
+                                    E.eq(X, E.bv_const(9, 8))),
+                       E.ne(X, E.bv_const(7, 8))]
+        model = solver.get_model(constraints)
+        assert model is not None
+        assert model.value_of(X) == 9
+
+    def test_constraints_over_wide_values(self):
+        solver = Solver()
+        word = E.concat(X, Y)
+        constraints = [E.eq(word, E.bv_const(0x0102, 16))]
+        model = solver.get_model(constraints)
+        assert model is not None
+        assert model.value_of(X) == 1
+        assert model.value_of(Y) == 2
+
+    def test_three_variables_with_ordering(self):
+        solver = Solver()
+        constraints = [E.ult(X, Y), E.ult(Y, Z), E.ult(Z, E.bv_const(3, 8))]
+        model = solver.get_model(constraints)
+        assert model is not None
+        assert model.value_of(X) < model.value_of(Y) < model.value_of(Z) < 3
+
+    def test_get_model_returns_none_for_unsat(self):
+        solver = Solver()
+        assert solver.get_model([E.ult(X, E.bv_const(0, 8))]) is None
+
+    def test_unknown_treated_as_satisfiable(self):
+        solver = Solver(SolverConfig(max_search_steps=1))
+        constraints = [E.eq(E.mul(X, Y), E.bv_const(143, 8)),
+                       E.ne(X, E.bv_const(1, 8)), E.ne(Y, E.bv_const(1, 8)),
+                       E.ult(E.bv_const(100, 8), E.add(X, Z))]
+        # The step budget is too small to decide; the engine-facing answer
+        # must err on the side of "satisfiable".
+        assert solver.is_satisfiable(constraints)
+
+    def test_stats_counting(self):
+        solver = Solver()
+        solver.is_satisfiable([E.eq(X, E.bv_const(3, 8))])
+        solver.is_satisfiable([E.ult(X, E.bv_const(0, 8))])
+        assert solver.stats.queries == 2
+        assert solver.stats.sat_queries >= 1
+        assert solver.stats.unsat_queries >= 1
+
+
+class TestSolverCaching:
+    def test_repeated_query_hits_cache(self):
+        solver = Solver()
+        constraints = [E.eq(X, E.bv_const(5, 8))]
+        solver.is_satisfiable(constraints)
+        before = solver.stats.cache_hits
+        solver.is_satisfiable(list(constraints))
+        assert solver.stats.cache_hits > before
+
+    def test_reset_caches(self):
+        solver = Solver()
+        solver.is_satisfiable([E.eq(X, E.bv_const(5, 8))])
+        solver.reset_caches()
+        assert solver.cache_stats["constraint_cache_entries"] == 0
+
+    def test_incremental_query_uses_recent_model(self):
+        solver = Solver()
+        base = [E.ult(X, E.bv_const(100, 8))]
+        assert solver.is_satisfiable(base)
+        hits_before = solver.stats.cache_hits
+        assert solver.is_satisfiable(base + [E.ule(X, E.bv_const(200, 8))])
+        assert solver.stats.cache_hits > hits_before
+
+
+class TestConstraintCache:
+    def test_insert_and_lookup(self):
+        cache = ConstraintCache()
+        constraints = [E.eq(X, E.bv_const(1, 8))]
+        assert cache.lookup(constraints) is None
+        cache.insert(constraints, True, Model({X: 1}))
+        hit = cache.lookup(constraints)
+        assert hit is not None and hit[0] is True
+
+    def test_order_insensitive_key(self):
+        cache = ConstraintCache()
+        a = E.eq(X, E.bv_const(1, 8))
+        b = E.ne(Y, E.bv_const(0, 8))
+        cache.insert([a, b], False, None)
+        assert cache.lookup([b, a]) == (False, None)
+
+    def test_capacity_eviction(self):
+        cache = ConstraintCache(capacity=2)
+        for i in range(3):
+            cache.insert([E.eq(X, E.bv_const(i, 8))], True, Model({X: i}))
+        assert len(cache) <= 2
+
+    def test_invalid_capacity(self):
+        with pytest.raises(ValueError):
+            ConstraintCache(capacity=0)
+
+
+class TestCounterexampleCache:
+    def test_superset_provides_model_for_subset(self):
+        cache = CounterexampleCache()
+        a = E.eq(X, E.bv_const(5, 8))
+        b = E.ult(Y, E.bv_const(10, 8))
+        cache.insert([a, b], True, Model({X: 5, Y: 0}))
+        hit = cache.lookup([a])
+        assert hit is not None and hit[0] is True
+
+    def test_subset_model_reused_when_it_satisfies(self):
+        cache = CounterexampleCache()
+        a = E.eq(X, E.bv_const(5, 8))
+        cache.insert([a], True, Model({X: 5}))
+        hit = cache.lookup([a, E.ult(X, E.bv_const(10, 8))])
+        assert hit is not None and hit[0] is True
+
+    def test_unsat_subset_implies_unsat_superset(self):
+        cache = CounterexampleCache()
+        a = E.ult(X, E.bv_const(0, 8))
+        cache.insert([a], False, None)
+        hit = cache.lookup([a, E.eq(Y, E.bv_const(1, 8))])
+        assert hit == (False, None)
+
+    def test_miss_returns_none(self):
+        cache = CounterexampleCache()
+        assert cache.lookup([E.eq(X, E.bv_const(1, 8))]) is None
+
+
+class TestModel:
+    def test_evaluate_with_defaults(self):
+        model = Model({X: 7})
+        assert model.evaluate(E.add(X, Y)) == 7  # Y defaults to 0
+
+    def test_as_bytes(self):
+        model = Model({X: 0x41, Y: 0x42})
+        assert model.as_bytes([X, Y]) == b"AB"
+
+    def test_satisfies(self):
+        model = Model({X: 3})
+        assert model.satisfies([E.ult(X, E.bv_const(5, 8))])
+        assert not model.satisfies([E.ult(E.bv_const(5, 8), X)])
+
+    def test_merged_with(self):
+        model = Model({X: 1}).merged_with({Y: 2})
+        assert model.value_of(Y) == 2 and model.value_of(X) == 1
