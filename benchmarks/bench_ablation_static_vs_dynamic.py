@@ -18,7 +18,7 @@ deep and skewed (parsing loops), exactly the situation in which a static
 split leaves some workers starved while one grinds through a heavy subtree.
 """
 
-from repro.cluster import ClusterConfig, StaticPartitionConfig
+from repro.api import ExplorationLimits
 from repro.targets import printf
 
 from conftest import bench_scale, print_table, run_once, worker_counts
@@ -45,13 +45,13 @@ def _idle_fraction(result) -> float:
 
 def _run_pair(workers: int):
     test = printf.make_symbolic_test(format_length=_format_length())
-    dynamic = test.build_cluster(ClusterConfig(
-        num_workers=workers,
-        instructions_per_round=INSTRUCTIONS_PER_ROUND,
-        balance_interval=BALANCE_INTERVAL)).run(max_rounds=ROUND_LIMIT)
-    static = test.build_static_cluster(StaticPartitionConfig(
-        num_workers=workers,
-        instructions_per_round=INSTRUCTIONS_PER_ROUND)).run(max_rounds=ROUND_LIMIT)
+    limits = ExplorationLimits(max_rounds=ROUND_LIMIT)
+    dynamic = test.run(backend="cluster", workers=workers,
+                       instructions_per_round=INSTRUCTIONS_PER_ROUND,
+                       balance_interval=BALANCE_INTERVAL, limits=limits)
+    static = test.run(backend="static", workers=workers,
+                      instructions_per_round=INSTRUCTIONS_PER_ROUND,
+                      limits=limits)
     return dynamic, static
 
 
@@ -60,10 +60,10 @@ def _run_experiment():
     dynamic, static = _run_pair(workers)
     rows = [
         ("dynamic (Cloud9)", dynamic.rounds_executed, dynamic.paths_completed,
-         dynamic.total_useful_instructions,
+         dynamic.useful_instructions,
          "%.0f%%" % (100.0 * _idle_fraction(dynamic))),
         ("static partitioning", static.rounds_executed, static.paths_completed,
-         static.total_useful_instructions,
+         static.useful_instructions,
          "%.0f%%" % (100.0 * _idle_fraction(static))),
     ]
     return workers, dynamic, static, rows

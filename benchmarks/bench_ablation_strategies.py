@@ -20,7 +20,7 @@ FORMAT_LENGTH = 3
 
 def _coverage_with_strategy(strategy: str) -> float:
     test = printf.make_symbolic_test(format_length=FORMAT_LENGTH)
-    result = test.run_single(max_steps=STEP_BUDGET, strategy=strategy)
+    result = test.run(max_steps=STEP_BUDGET, strategy=strategy)
     return result.coverage_percent, result.paths_completed
 
 

@@ -12,7 +12,6 @@ rounds-to-exhaustion as workers are added, with every cluster size exploring
 the identical set of paths.
 """
 
-from repro.cluster import ClusterConfig
 from repro.targets import memcached
 
 from conftest import print_table, run_once, worker_counts
@@ -29,19 +28,16 @@ def _run_sweep():
     for workers in worker_counts():
         test = memcached.make_symbolic_packets_test(
             num_packets=NUM_PACKETS, packet_size=PACKET_SIZE)
-        result = test.run_cluster(
-            num_workers=workers,
-            cluster_config=ClusterConfig(
-                num_workers=workers,
-                instructions_per_round=INSTRUCTIONS_PER_ROUND,
-                balance_interval=BALANCE_INTERVAL))
+        result = test.run(backend="cluster", workers=workers,
+                          instructions_per_round=INSTRUCTIONS_PER_ROUND,
+                          balance_interval=BALANCE_INTERVAL)
         assert result.exhausted, "exploration must complete for Fig. 7"
         if baseline_rounds is None:
             baseline_rounds = result.rounds_executed
         rows.append((workers, result.rounds_executed,
                      round(baseline_rounds / max(result.rounds_executed, 1), 2),
                      result.paths_completed,
-                     result.total_states_transferred))
+                     result.states_transferred))
     return rows
 
 

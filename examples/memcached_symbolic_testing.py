@@ -16,6 +16,7 @@ model:
 Run with:  python examples/memcached_symbolic_testing.py
 """
 
+from repro.api import Campaign
 from repro.engine import BugKind
 from repro.targets import memcached
 from repro.testing.report import CoverageAccounting
@@ -23,10 +24,18 @@ from repro.testing.report import CoverageAccounting
 
 def main() -> None:
     print("=== 1. concrete suite vs symbolic packets (Table 5 accounting) ===")
-    concrete = memcached.make_concrete_suite_test().run_single()
-    symbolic = memcached.make_symbolic_packets_test(num_packets=1,
-                                                    packet_size=6).run_single()
-    fault = memcached.make_fault_injection_test().run_single(max_paths=150)
+    # Three testing techniques over the same target, batched in one campaign.
+    campaign = Campaign("memcached-techniques")
+    campaign.add(memcached.make_concrete_suite_test(), label="concrete")
+    campaign.add(memcached.make_symbolic_packets_test(num_packets=1,
+                                                      packet_size=6),
+                 label="symbolic")
+    campaign.add(memcached.make_fault_injection_test(), label="fault",
+                 max_paths=150)
+    outcome = campaign.run()
+    concrete = outcome.results["concrete"]
+    symbolic = outcome.results["symbolic"]
+    fault = outcome.results["fault"]
 
     accounting = CoverageAccounting(line_count=concrete.line_count)
     accounting.add_method("entire test suite", concrete.paths_completed,
@@ -45,7 +54,7 @@ def main() -> None:
 
     print()
     print("=== 3. hang detection on symbolic UDP datagrams ===")
-    udp = memcached.make_udp_hang_test().run_single()
+    udp = memcached.make_udp_hang_test().run()
     hangs = [b for b in udp.bugs if b.kind == BugKind.INFINITE_LOOP]
     print("paths explored: %d, hangs detected: %d" % (udp.paths_completed, len(hangs)))
     for bug in hangs[:1]:

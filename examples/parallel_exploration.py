@@ -10,7 +10,7 @@ scalability figures of the paper.
 Run with:  python examples/parallel_exploration.py
 """
 
-from repro.cluster import ClusterConfig
+from repro.api import Campaign
 from repro.targets import printf
 
 
@@ -24,23 +24,27 @@ def main() -> None:
     print("%8s %10s %14s %14s %12s %12s" % (
         "workers", "rounds", "paths", "useful work", "replay work", "transfers"))
 
+    # One test, a grid of cluster sizes: a Campaign runs the sweep and keeps
+    # every per-size RunResult for comparison.
+    campaign = Campaign("printf-scalability")
+    campaign.add_grid(printf.make_symbolic_test(format_length=3), [
+        {"backend": "cluster", "workers": workers,
+         "instructions_per_round": instructions_per_round,
+         "label": "w%d" % workers}
+        for workers in worker_counts
+    ])
+    outcome = campaign.run()
+
     baseline_rounds = None
     for workers in worker_counts:
-        test = printf.make_symbolic_test(format_length=3)
-        result = test.run_cluster(
-            num_workers=workers,
-            cluster_config=ClusterConfig(
-                num_workers=workers,
-                instructions_per_round=instructions_per_round,
-            ),
-        )
+        result = outcome.results["w%d" % workers]
         if baseline_rounds is None:
             baseline_rounds = result.rounds_executed
         speedup = baseline_rounds / max(result.rounds_executed, 1)
         print("%8d %10d %14d %14d %12d %12d    (speed-up vs 1 worker: %.2fx)" % (
             workers, result.rounds_executed, result.paths_completed,
-            result.total_useful_instructions, result.total_replay_instructions,
-            result.total_states_transferred, speedup))
+            result.useful_instructions, result.replay_instructions,
+            result.states_transferred, speedup))
 
     print()
     print("Every cluster size explores the same set of paths (the dynamic")

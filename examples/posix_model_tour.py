@@ -82,7 +82,7 @@ def setup(state) -> None:
 
 def main() -> None:
     test = SymbolicTest("posix-model-tour", build_program(), setup=setup)
-    result = test.run_single()
+    result = test.run()
     print("paths explored:  %d" % result.paths_completed)
     print("bugs found:      %d" % len(result.bugs))
     for case in sorted(result.test_cases, key=lambda c: (c.exit_code or 0)):
@@ -90,10 +90,10 @@ def main() -> None:
               % (case.input_bytes("mode"), case.exit_code))
     print()
     print("The same symbolic test, on a 3-worker cluster:")
-    cluster = test.run_cluster(num_workers=3, instructions_per_round=200)
+    cluster = test.run(backend="cluster", workers=3, instructions_per_round=200)
     print("paths explored:  %d (rounds: %d, states transferred: %d)"
           % (cluster.paths_completed, cluster.rounds_executed,
-             cluster.total_states_transferred))
+             cluster.states_transferred))
 
 
 if __name__ == "__main__":

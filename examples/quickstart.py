@@ -1,5 +1,5 @@
 #!/usr/bin/env python3
-"""Quickstart: write a symbolic test and run it on one engine and on a cluster.
+"""Quickstart: one symbolic test, every backend, one `run` call.
 
 The program under test parses a tiny "command packet": a 4-byte buffer whose
 first byte selects an operation.  The symbolic test marks the whole packet
@@ -7,11 +7,16 @@ symbolic, so a single test covers every possible packet, and the engine
 generates one concrete test case per explored path -- including the one that
 triggers the (deliberate) division-by-zero-style assertion failure.
 
+The point of the unified API is that the *same* test runs unchanged on a
+single engine, on a simulated Cloud9 cluster, or on a thread-backed cluster:
+``test.run(backend=..., ...)`` always returns the same ``RunResult`` shape,
+so the backends compare apples-to-apples.
+
 Run with:  python examples/quickstart.py
 """
 
 from repro import lang as L
-from repro.cluster import ClusterConfig
+from repro.api import ExplorationLimits
 from repro.testing import SymbolicTest
 
 
@@ -44,7 +49,7 @@ def main() -> None:
     test = SymbolicTest("quickstart", build_program())
 
     print("=== single-engine run (plain KLEE / 1-worker Cloud9) ===")
-    single = test.run_single()
+    single = test.run()  # backend="single" is the default
     print("paths explored:   %d" % single.paths_completed)
     print("line coverage:    %.1f%%" % single.coverage_percent)
     print("bugs found:       %d" % len(single.bugs))
@@ -59,16 +64,23 @@ def main() -> None:
             "  [error path]" if case.is_error else ""))
 
     print()
-    print("=== 4-worker Cloud9 cluster run ===")
-    cluster_result = test.run_cluster(
-        num_workers=4,
-        cluster_config=ClusterConfig(num_workers=4, instructions_per_round=100),
-    )
-    print("paths explored:   %d" % cluster_result.paths_completed)
-    print("virtual rounds:   %d" % cluster_result.rounds_executed)
+    print("=== 4-worker Cloud9 cluster run (same test, same call shape) ===")
+    cluster = test.run(backend="cluster", workers=4, instructions_per_round=100)
+    print("paths explored:   %d" % cluster.paths_completed)
+    print("virtual rounds:   %d" % cluster.rounds_executed)
     print("states moved:     %d (job transfers between workers)"
-          % cluster_result.total_states_transferred)
-    print("bugs found:       %s" % ", ".join(cluster_result.bug_summaries()))
+          % cluster.states_transferred)
+    print("bugs found:       %s" % ", ".join(cluster.bug_summaries()))
+
+    print()
+    print("=== bug hunting with uniform limits ===")
+    limits = ExplorationLimits(stop_on_first_bug=True, max_rounds=200)
+    for backend in ("single", "cluster", "threaded"):
+        options = {} if backend == "single" else {"workers": 2,
+                                                  "instructions_per_round": 100}
+        result = test.run(backend=backend, limits=limits, **options)
+        print("%-9s found %d bug(s) after %d instructions"
+              % (backend, len(result.bugs), result.total_instructions))
 
 
 if __name__ == "__main__":

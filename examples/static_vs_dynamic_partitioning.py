@@ -15,7 +15,6 @@ early and idle, while one worker grinds through the heaviest partition alone.
 Run with:  python examples/static_vs_dynamic_partitioning.py
 """
 
-from repro.cluster import ClusterConfig, StaticPartitionConfig
 from repro.targets import printf
 
 WORKERS = 4
@@ -26,7 +25,7 @@ def queue_picture(result, label: str) -> None:
     print("--- %s ---" % label)
     print("rounds to exhaustion: %d   paths: %d   useful instructions: %d"
           % (result.rounds_executed, result.paths_completed,
-             result.total_useful_instructions))
+             result.useful_instructions))
     print("round  " + "  ".join("w%d" % w for w in sorted(
         result.timeline.snapshots[0].queue_lengths)) + "   (candidate states per worker)")
     for snap in result.timeline.snapshots:
@@ -40,12 +39,12 @@ def queue_picture(result, label: str) -> None:
 def main() -> None:
     test = printf.make_symbolic_test(format_length=3)
 
-    dynamic = test.build_cluster(ClusterConfig(
-        num_workers=WORKERS, instructions_per_round=INSTRUCTIONS_PER_ROUND,
-        balance_interval=2)).run()
-    static = test.build_static_cluster(StaticPartitionConfig(
-        num_workers=WORKERS,
-        instructions_per_round=INSTRUCTIONS_PER_ROUND)).run()
+    # Same test, two backends -- only the backend name changes.
+    dynamic = test.run(backend="cluster", workers=WORKERS,
+                       instructions_per_round=INSTRUCTIONS_PER_ROUND,
+                       balance_interval=2)
+    static = test.run(backend="static", workers=WORKERS,
+                      instructions_per_round=INSTRUCTIONS_PER_ROUND)
 
     queue_picture(dynamic, "dynamic partitioning (Cloud9)")
     queue_picture(static, "static partitioning (no load balancing)")

@@ -11,11 +11,14 @@ EuroSys 2011) as a pure-Python library:
 * :mod:`repro.cluster` -- cluster-parallel exploration with dynamic load
   balancing (§3), the paper's core contribution.
 * :mod:`repro.testing` -- the symbolic-test platform API (§5).
+* :mod:`repro.api`     -- the unified exploration API: one ``run`` surface,
+  uniform limits, backend registry, unified results, batch campaigns.
 * :mod:`repro.targets` -- models of the real-world systems evaluated in §7
   (memcached, lighttpd, printf, test, curl, Coreutils, Bandicoot, and a
   producer-consumer benchmark).
 
-Quickstart::
+Quickstart -- the same symbolic test scales transparently from one engine to
+a cluster, which is the paper's core pitch::
 
     from repro import lang as L
     from repro.testing import SymbolicTest
@@ -27,11 +30,42 @@ Quickstart::
         ),
     )
     test = SymbolicTest("demo", program)
-    print(test.run_single().paths_completed)        # 2 paths
-    print(test.run_cluster(num_workers=4).paths_completed)
+    print(test.run().paths_completed)                       # one engine: 2 paths
+    print(test.run(backend="cluster", workers=4).paths_completed)
+
+Every backend (``"single"``, ``"cluster"``, ``"static"``, ``"threaded"``)
+accepts the same :class:`~repro.api.limits.ExplorationLimits` -- either as a
+``limits=`` bundle or as direct kwargs -- and returns the same
+:class:`~repro.api.result.RunResult`::
+
+    from repro.api import ExplorationLimits
+
+    limits = ExplorationLimits(max_paths=100, stop_on_first_bug=True)
+    for backend in ("single", "cluster"):
+        result = test.run(backend=backend, limits=limits)
+        print(backend, result.paths_completed, result.coverage_percent)
+
+Batches of tests (or one test across a grid of configurations) run through
+:class:`~repro.api.campaign.Campaign`::
+
+    from repro.api import Campaign
+
+    campaign = Campaign("scalability", limits=ExplorationLimits(max_rounds=50))
+    campaign.add_grid(test, [{"backend": "cluster", "workers": w}
+                             for w in (1, 2, 4, 8)])
+    outcome = campaign.run()
+    print(outcome.summary_rows())
 """
 
-from repro import cluster, engine, lang, posix, solver, testing
+from repro import api, cluster, engine, lang, posix, solver, testing
+from repro.api import (
+    Campaign,
+    CampaignResult,
+    ExplorationLimits,
+    RunResult,
+    available_backends,
+    run_test,
+)
 from repro.cluster import Cloud9Cluster, ClusterConfig, ClusterResult
 from repro.engine import (
     BugKind,
@@ -43,15 +77,22 @@ from repro.engine import (
 )
 from repro.testing import SymbolicTest, SymbolicTestSuite
 
-__version__ = "0.1.0"
+__version__ = "0.2.0"
 
 __all__ = [
+    "api",
     "cluster",
     "engine",
     "lang",
     "posix",
     "solver",
     "testing",
+    "Campaign",
+    "CampaignResult",
+    "ExplorationLimits",
+    "RunResult",
+    "available_backends",
+    "run_test",
     "Cloud9Cluster",
     "ClusterConfig",
     "ClusterResult",

@@ -1,0 +1,164 @@
+"""The unified result type returned by every execution backend.
+
+The legacy surface returns two incompatible types -- the single engine's
+:class:`~repro.engine.executor.ExplorationResult` and the clusters'
+:class:`~repro.cluster.coordinator.ClusterResult` -- with overlapping but
+differently named fields, so comparing backends meant per-backend glue in
+every benchmark.  :class:`RunResult` adapts both into one shape:
+
+* common fields are first-class (paths, coverage, bugs, test cases,
+  useful/replay instruction counts, exhaustion/goal flags);
+* backend-specific detail is optional (``rounds_executed`` and ``timeline``
+  are ``None`` for single-engine runs; ``steps`` is ``None`` for clusters);
+* the original result object stays reachable through ``raw``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Set
+
+from repro.cluster.coordinator import ClusterResult
+from repro.cluster.stats import ClusterTimeline, WorkerStats
+from repro.engine.errors import BugKind, BugReport
+from repro.engine.executor import ExplorationResult
+from repro.engine.test_case import TestCase
+
+from repro.api.limits import ExplorationLimits
+
+__all__ = ["RunResult"]
+
+
+@dataclass
+class RunResult:
+    """Backend-independent summary of one exploration run."""
+
+    backend: str
+    test_name: str
+    num_workers: int = 1
+    paths_completed: int = 0
+    covered_lines: Set[int] = field(default_factory=set)
+    line_count: int = 0
+    bugs: List[BugReport] = field(default_factory=list)
+    test_cases: List[TestCase] = field(default_factory=list)
+    useful_instructions: int = 0
+    replay_instructions: int = 0
+    exhausted: bool = False
+    goal_reached: bool = False
+    states_remaining: int = 0
+    # Backend-specific extras (None when the backend has no such notion).
+    wall_time: Optional[float] = None
+    rounds_executed: Optional[int] = None
+    steps: Optional[int] = None
+    timeline: Optional[ClusterTimeline] = None
+    worker_stats: Optional[Dict[int, WorkerStats]] = None
+    states_transferred: Optional[int] = None
+    #: The legacy result object this facade was adapted from.
+    raw: object = None
+
+    # -- derived metrics --------------------------------------------------------------
+
+    @property
+    def coverage_percent(self) -> float:
+        if not self.line_count:
+            return 0.0
+        return 100.0 * len(self.covered_lines) / self.line_count
+
+    @property
+    def total_instructions(self) -> int:
+        """All instructions executed, useful and replayed alike."""
+        return self.useful_instructions + self.replay_instructions
+
+    @property
+    def replay_overhead(self) -> float:
+        total = self.total_instructions
+        return self.replay_instructions / total if total else 0.0
+
+    @property
+    def useful_instructions_per_worker(self) -> float:
+        if not self.num_workers:
+            return 0.0
+        return self.useful_instructions / self.num_workers
+
+    @property
+    def found_bug(self) -> bool:
+        return bool(self.bugs)
+
+    def bug_kinds(self) -> Set[BugKind]:
+        return {b.kind for b in self.bugs}
+
+    def bug_summaries(self) -> List[str]:
+        return sorted({b.summary() for b in self.bugs})
+
+    def rounds_to_coverage(self, target_percent: float) -> Optional[int]:
+        """Rounds until the timeline first reached the target (None when the
+        backend keeps no timeline or never reached it)."""
+        if self.timeline is None:
+            return None
+        return self.timeline.rounds_to_coverage(target_percent)
+
+    # -- adapters from the legacy result types ----------------------------------------
+
+    @classmethod
+    def from_exploration(cls, result: ExplorationResult, *, backend: str = "single",
+                         test_name: Optional[str] = None,
+                         limits: Optional[ExplorationLimits] = None) -> "RunResult":
+        """Adapt a single-engine :class:`ExplorationResult`.
+
+        ``goal_reached`` is recomputed from ``limits`` because the legacy type
+        never recorded why the loop stopped.
+        """
+        goal = False
+        if limits is not None:
+            goal = limits.satisfied_by(result.paths_completed,
+                                       result.coverage_percent, len(result.bugs))
+        return cls(
+            backend=backend,
+            test_name=test_name if test_name is not None else result.program_name,
+            num_workers=1,
+            paths_completed=result.paths_completed,
+            covered_lines=set(result.covered_lines),
+            line_count=result.line_count,
+            bugs=list(result.bugs),
+            test_cases=list(result.test_cases),
+            useful_instructions=result.instructions_executed,
+            replay_instructions=0,
+            exhausted=result.exhausted,
+            goal_reached=goal,
+            states_remaining=result.states_remaining,
+            wall_time=result.wall_time,
+            rounds_executed=None,
+            steps=result.steps,
+            timeline=None,
+            worker_stats=None,
+            states_transferred=None,
+            raw=result,
+        )
+
+    @classmethod
+    def from_cluster(cls, result: ClusterResult, *, backend: str,
+                     test_name: str) -> "RunResult":
+        """Adapt a :class:`ClusterResult` from any cluster backend."""
+        return cls(
+            backend=backend,
+            test_name=test_name,
+            num_workers=result.num_workers,
+            paths_completed=result.paths_completed,
+            covered_lines=set(result.covered_lines),
+            line_count=result.line_count,
+            bugs=list(result.bugs),
+            test_cases=list(result.test_cases),
+            useful_instructions=result.total_useful_instructions,
+            replay_instructions=result.total_replay_instructions,
+            exhausted=result.exhausted,
+            goal_reached=result.goal_reached,
+            states_remaining=(result.timeline.snapshots[-1].total_candidates
+                              if result.timeline.snapshots else 0),
+            wall_time=result.wall_time,
+            rounds_executed=result.rounds_executed,
+            steps=None,
+            timeline=result.timeline,
+            worker_stats=dict(result.worker_stats),
+            states_transferred=result.total_states_transferred,
+            raw=result,
+        )

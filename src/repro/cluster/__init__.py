@@ -15,6 +15,8 @@ execution tree across shared-nothing workers:
 * :mod:`repro.cluster.transport` -- the simulated shared-nothing network.
 * :mod:`repro.cluster.coordinator` -- the round-based cluster runtime and
   the public :class:`Cloud9Cluster` front end.
+* :mod:`repro.cluster.threaded` -- the same cluster with per-round worker
+  steps on an OS thread pool (wall-clock parallelism on one machine).
 * :mod:`repro.cluster.static_partition` -- the static-partitioning baseline
   the paper argues against (§2, §8), used by the ablation benchmarks.
 * :mod:`repro.cluster.stats` -- instruction/transfer/coverage timelines used
@@ -27,10 +29,12 @@ from repro.cluster.load_balancer import LoadBalancer, TransferCommand
 from repro.cluster.overlay import CoverageOverlay
 from repro.cluster.static_partition import StaticPartitionCluster, StaticPartitionConfig
 from repro.cluster.stats import ClusterTimeline, WorkerStats
+from repro.cluster.threaded import ThreadedCloud9Cluster
 from repro.cluster.worker import Worker
 
 __all__ = [
     "Cloud9Cluster",
+    "ThreadedCloud9Cluster",
     "ClusterConfig",
     "ClusterResult",
     "Job",

@@ -15,15 +15,17 @@ An optional thread-backed runner for wall-clock parallelism is provided in
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional, Sequence, Set, Tuple
 
 from repro.cluster.load_balancer import LoadBalancer, TransferCommand
 from repro.cluster.stats import ClusterTimeline, RoundSnapshot, WorkerStats
 from repro.cluster.transport import LOAD_BALANCER_ID, Message, MessageKind, Transport
-from repro.cluster.worker import Worker
+from repro.cluster.worker import DEFAULT_STRATEGY, Worker
 from repro.engine.errors import BugReport
 from repro.engine.executor import SymbolicExecutor
+from repro.engine.limits import ExplorationLimits, effective_limits
 from repro.engine.state import ExecutionState
 from repro.engine.test_case import TestCase
 
@@ -41,7 +43,10 @@ class ClusterConfig:
     balance_interval: int = 1
     delta: float = 1.0
     min_transfer: int = 1
-    strategy: str = "interleaved"
+    # None = "resolve at build time": a SymbolicTest substitutes its own
+    # strategy, a bare cluster falls back to DEFAULT_STRATEGY.  (A concrete
+    # default here used to silently override the test's strategy.)
+    strategy: Optional[str] = None
     load_balancing_enabled: bool = True
     # Disable load balancing from this round on (None = never): Fig. 13.
     disable_balancing_after_round: Optional[int] = None
@@ -76,6 +81,9 @@ class ClusterResult:
     total_states_transferred: int = 0
     transfer_commands: int = 0
     messages_sent: int = 0
+    # Real elapsed seconds of the run (rounds are virtual time, but the
+    # threaded cluster's wall-clock speedup is only visible here).
+    wall_time: float = 0.0
 
     @property
     def useful_instructions_per_worker(self) -> float:
@@ -130,7 +138,7 @@ class Cloud9Cluster:
             if program_line_count is None:
                 program_line_count = executor.program.line_count
             worker = Worker(worker_id, executor, self.state_factory,
-                            strategy_name=self.config.strategy)
+                            strategy_name=self.config.strategy or DEFAULT_STRATEGY)
             self.workers.append(worker)
         self.load_balancer = LoadBalancer(
             line_count=program_line_count or 0,
@@ -162,16 +170,46 @@ class Cloud9Cluster:
 
     # -- main loop -----------------------------------------------------------------------
 
+    def _explore_round(self) -> None:
+        """Step every busy worker by one round's instruction budget.
+
+        Extracted as a hook so :class:`~repro.cluster.threaded.ThreadedCloud9Cluster`
+        can run the (share-nothing) workers on OS threads instead.
+        """
+        for worker in self.workers:
+            if worker.has_work:
+                worker.explore(self.config.instructions_per_round)
+
     def run(self, max_rounds: Optional[int] = None,
             target_coverage_percent: Optional[float] = None,
             max_paths: Optional[int] = None,
-            stop_on_first_bug: bool = False) -> ClusterResult:
-        """Run rounds until exhaustion, a goal, or the round budget."""
+            stop_on_first_bug: bool = False,
+            max_wall_time: Optional[float] = None,
+            max_instructions: Optional[int] = None,
+            limits: Optional[ExplorationLimits] = None) -> ClusterResult:
+        """Run rounds until exhaustion, a goal, or a budget is spent.
+
+        Limits may be given as explicit kwargs or bundled in an
+        :class:`~repro.engine.limits.ExplorationLimits`; explicit kwargs win.
+        ``limits.coverage_target`` maps to ``target_coverage_percent`` and
+        ``limits.max_steps`` does not apply to cluster runs.
+        """
+        lim = effective_limits(limits, max_rounds=max_rounds,
+                               coverage_target=target_coverage_percent,
+                               max_paths=max_paths,
+                               stop_on_first_bug=stop_on_first_bug,
+                               max_wall_time=max_wall_time,
+                               max_instructions=max_instructions)
+        max_rounds, target_coverage_percent = lim.max_rounds, lim.coverage_target
+        max_paths, stop_on_first_bug = lim.max_paths, lim.stop_on_first_bug
+        max_wall_time, max_instructions = lim.max_wall_time, lim.max_instructions
         config = self.config
         limit = max_rounds if max_rounds is not None else config.max_rounds
         line_count = self.workers[0].executor.program.line_count
         result = ClusterResult(num_workers=config.num_workers,
                                line_count=line_count)
+        start = time.monotonic()
+        instructions_executed = 0
 
         round_index = 0
         while round_index < limit:
@@ -186,11 +224,10 @@ class Cloud9Cluster:
             # 2. Explore for one round of virtual time.
             useful_before = sum(w.stats.useful_instructions for w in self.workers)
             replay_before = sum(w.stats.replay_instructions for w in self.workers)
-            for worker in self.workers:
-                if worker.has_work:
-                    worker.explore(config.instructions_per_round)
+            self._explore_round()
             useful_delta = sum(w.stats.useful_instructions for w in self.workers) - useful_before
             replay_delta = sum(w.stats.replay_instructions for w in self.workers) - replay_before
+            instructions_executed += useful_delta + replay_delta
 
             # 3. Status updates to the LB and balancing decisions.
             if round_index % config.status_update_interval == 0:
@@ -254,7 +291,13 @@ class Cloud9Cluster:
             if self._total_candidates() == 0 and self.transport.work_idle:
                 result.exhausted = True
                 break
+            # Budget limits (spent, not reached: goal_reached stays False).
+            if max_instructions is not None and instructions_executed >= max_instructions:
+                break
+            if max_wall_time is not None and time.monotonic() - start >= max_wall_time:
+                break
 
+        result.wall_time = time.monotonic() - start
         return self._finalize(result, round_index)
 
     def _finalize(self, result: ClusterResult, rounds: int) -> ClusterResult:

@@ -27,6 +27,7 @@ approaches can be compared metric for metric.
 
 from __future__ import annotations
 
+import time
 from collections import deque
 from dataclasses import dataclass
 from typing import Deque, List, Optional, Set, Tuple
@@ -39,8 +40,9 @@ from repro.cluster.coordinator import (
 )
 from repro.cluster.jobs import Job, JobTree
 from repro.cluster.stats import RoundSnapshot
-from repro.cluster.worker import Worker
+from repro.cluster.worker import DEFAULT_STRATEGY, Worker
 from repro.engine.errors import BugReport
+from repro.engine.limits import ExplorationLimits, effective_limits
 from repro.engine.test_case import TestCase
 
 
@@ -54,7 +56,8 @@ class StaticPartitionConfig:
     partitions_per_worker: int = 1
     # Hard limits on the bootstrap exploration itself.
     max_bootstrap_steps: int = 2_000
-    strategy: str = "interleaved"
+    # None = "resolve at build time", same contract as ClusterConfig.strategy.
+    strategy: Optional[str] = None
     max_rounds: int = 10_000
 
     def __post_init__(self) -> None:
@@ -130,7 +133,7 @@ class StaticPartitionCluster:
             worker_id = index + 1
             executor = self.executor_factory()
             worker = Worker(worker_id, executor, self.state_factory,
-                            strategy_name=self.config.strategy)
+                            strategy_name=self.config.strategy or DEFAULT_STRATEGY)
             self.workers.append(worker)
         # Deal the partition prefixes round-robin; nothing will ever move
         # between workers afterwards.
@@ -161,13 +164,31 @@ class StaticPartitionCluster:
     def run(self, max_rounds: Optional[int] = None,
             target_coverage_percent: Optional[float] = None,
             max_paths: Optional[int] = None,
-            stop_on_first_bug: bool = False) -> ClusterResult:
-        """Run rounds until exhaustion, a goal, or the round budget."""
+            stop_on_first_bug: bool = False,
+            max_wall_time: Optional[float] = None,
+            max_instructions: Optional[int] = None,
+            limits: Optional[ExplorationLimits] = None) -> ClusterResult:
+        """Run rounds until exhaustion, a goal, or a budget is spent.
+
+        Accepts the same ``limits`` bundle as
+        :meth:`~repro.cluster.coordinator.Cloud9Cluster.run`.
+        """
+        lim = effective_limits(limits, max_rounds=max_rounds,
+                               coverage_target=target_coverage_percent,
+                               max_paths=max_paths,
+                               stop_on_first_bug=stop_on_first_bug,
+                               max_wall_time=max_wall_time,
+                               max_instructions=max_instructions)
+        max_rounds, target_coverage_percent = lim.max_rounds, lim.coverage_target
+        max_paths, stop_on_first_bug = lim.max_paths, lim.stop_on_first_bug
+        max_wall_time, max_instructions = lim.max_wall_time, lim.max_instructions
         config = self.config
         limit = max_rounds if max_rounds is not None else config.max_rounds
         line_count = self.workers[0].executor.program.line_count
         result = ClusterResult(num_workers=config.num_workers,
                                line_count=line_count)
+        start = time.monotonic()
+        instructions_executed = 0
 
         round_index = 0
         while round_index < limit:
@@ -178,6 +199,7 @@ class StaticPartitionCluster:
                     worker.explore(config.instructions_per_round)
             useful_delta = sum(w.stats.useful_instructions for w in self.workers) - useful_before
             replay_delta = sum(w.stats.replay_instructions for w in self.workers) - replay_before
+            instructions_executed += useful_delta + replay_delta
 
             covered = self._all_covered_lines()
             coverage_percent = 100.0 * len(covered) / line_count if line_count else 0.0
@@ -212,7 +234,13 @@ class StaticPartitionCluster:
             if self._total_candidates() == 0:
                 result.exhausted = True
                 break
+            # Budget limits (spent, not reached: goal_reached stays False).
+            if max_instructions is not None and instructions_executed >= max_instructions:
+                break
+            if max_wall_time is not None and time.monotonic() - start >= max_wall_time:
+                break
 
+        result.wall_time = time.monotonic() - start
         return self._finalize(result, round_index)
 
     def _finalize(self, result: ClusterResult, rounds: int) -> ClusterResult:

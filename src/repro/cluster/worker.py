@@ -33,6 +33,9 @@ from repro.engine.tree import ExecutionTree, NodeLife, NodeStatus, TreeNode
 
 StateFactory = Callable[[SymbolicExecutor], ExecutionState]
 
+#: Strategy used when neither a config nor a symbolic test names one.
+DEFAULT_STRATEGY = "interleaved"
+
 
 class Worker:
     """One cluster node running an independent symbolic execution engine."""
@@ -40,7 +43,7 @@ class Worker:
     def __init__(self, worker_id: int, executor: SymbolicExecutor,
                  state_factory: StateFactory,
                  strategy: Optional[SearchStrategy] = None,
-                 strategy_name: str = "interleaved"):
+                 strategy_name: str = DEFAULT_STRATEGY):
         if worker_id == LOAD_BALANCER_ID:
             raise ValueError("worker id 0 is reserved for the load balancer")
         self.worker_id = worker_id

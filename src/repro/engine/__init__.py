@@ -13,12 +13,15 @@ provides:
 * the execution tree with node pins and layers (:mod:`repro.engine.tree`, §6),
 * search strategies including random-path and coverage-optimized
   (:mod:`repro.engine.strategies`, §7),
+* the uniform exploration limits shared by every backend
+  (:mod:`repro.engine.limits`, re-exported as :mod:`repro.api.limits`),
 * a single-node exploration driver (:mod:`repro.engine.executor`).
 """
 
 from repro.engine.config import EngineConfig
 from repro.engine.errors import BugKind, BugReport
 from repro.engine.executor import ExplorationResult, SymbolicExecutor, StepResult
+from repro.engine.limits import ExplorationLimits
 from repro.engine.state import ExecutionState, StateStatus
 from repro.engine.strategies import (
     BfsStrategy,
@@ -38,6 +41,7 @@ __all__ = [
     "BugKind",
     "BugReport",
     "ExplorationResult",
+    "ExplorationLimits",
     "SymbolicExecutor",
     "StepResult",
     "ExecutionState",

@@ -22,6 +22,7 @@ from repro.engine.config import EngineConfig
 from repro.engine.coverage import CoverageBitVector
 from repro.engine.errors import BugKind, BugReport
 from repro.engine.interpreter import Interpreter
+from repro.engine.limits import ExplorationLimits, effective_limits
 from repro.engine.natives import NativeRegistry
 from repro.engine.scheduler import CooperativeScheduler
 from repro.engine.state import ExecutionState, StateStatus, ThreadStatus
@@ -32,7 +33,6 @@ from repro.engine.tree import ExecutionTree, NodeLife, NodeStatus, TreeNode
 from repro.lang.ast import Program
 from repro.lang.compiler import CompiledProgram, compile_program
 from repro.solver.solver import Solver
-
 
 @dataclass
 class StepResult:
@@ -246,8 +246,24 @@ class SymbolicExecutor:
             max_paths: Optional[int] = None,
             max_instructions: Optional[int] = None,
             max_wall_time: Optional[float] = None,
-            coverage_target: Optional[float] = None) -> ExplorationResult:
-        """Explore until exhaustion or until a limit/goal is reached."""
+            coverage_target: Optional[float] = None,
+            stop_on_first_bug: bool = False,
+            limits: Optional[ExplorationLimits] = None) -> ExplorationResult:
+        """Explore until exhaustion or until a limit/goal is reached.
+
+        Limits may be given as explicit kwargs or bundled in an
+        :class:`~repro.engine.limits.ExplorationLimits` (explicit kwargs
+        win); ``limits.max_rounds`` has no meaning on a single engine and is
+        ignored.
+        """
+        lim = effective_limits(limits, max_steps=max_steps, max_paths=max_paths,
+                               max_instructions=max_instructions,
+                               max_wall_time=max_wall_time,
+                               coverage_target=coverage_target,
+                               stop_on_first_bug=stop_on_first_bug)
+        max_steps, max_paths = lim.max_steps, lim.max_paths
+        max_instructions, max_wall_time = lim.max_instructions, lim.max_wall_time
+        coverage_target, stop_on_first_bug = lim.coverage_target, lim.stop_on_first_bug
         if initial_state is None:
             state = self.make_initial_state()
         elif callable(initial_state):
@@ -269,9 +285,12 @@ class SymbolicExecutor:
         start = time.monotonic()
         instructions_at_start = self.total_instructions
         paths_at_start = self.paths_completed
+        bugs_at_start = len(self.bugs)
 
         while candidates:
             if max_steps is not None and result.steps >= max_steps:
+                break
+            if stop_on_first_bug and len(self.bugs) > bugs_at_start:
                 break
             if max_paths is not None and self.paths_completed - paths_at_start >= max_paths:
                 break

@@ -1,0 +1,135 @@
+"""Uniform exploration limits shared by every execution backend.
+
+Historically each entry point grew its own subset of limit kwargs with
+subtly different names (``coverage_target`` vs ``target_coverage_percent``,
+``max_steps`` vs ``max_rounds``), so switching a test between the single
+engine and a cluster meant re-plumbing every knob.  :class:`ExplorationLimits`
+is the single bag of budgets and goals accepted by
+:meth:`repro.engine.executor.SymbolicExecutor.run`,
+:meth:`repro.cluster.coordinator.Cloud9Cluster.run`,
+:meth:`repro.cluster.static_partition.StaticPartitionCluster.run` and the
+:mod:`repro.api.runner` backends.
+
+A backend applies every limit that is meaningful for it and ignores the
+rest (``max_steps`` only bounds single-engine scheduling steps; ``max_rounds``
+only bounds cluster virtual-time rounds).  ``None`` always means "unlimited".
+
+The module lives under :mod:`repro.engine` (dependency-free, importable by
+every layer) and is re-exported as :mod:`repro.api.limits`, the public name.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, fields, replace
+from typing import Dict, Optional
+
+__all__ = ["ExplorationLimits", "UNLIMITED", "effective_limits"]
+
+
+@dataclass(frozen=True)
+class ExplorationLimits:
+    """Budgets and goals of one exploration run.
+
+    Budgets (stop when exceeded):
+
+    * ``max_steps`` -- scheduling/instruction steps of the single engine.
+    * ``max_rounds`` -- virtual-time rounds of a cluster run.
+    * ``max_instructions`` -- total instructions executed (useful + replay
+      on clusters).
+    * ``max_wall_time`` -- wall-clock seconds.
+
+    Goals (stop when reached, marking the run successful):
+
+    * ``max_paths`` -- complete this many paths.
+    * ``coverage_target`` -- reach this line-coverage percentage.
+    * ``stop_on_first_bug`` -- stop as soon as any bug is reported.
+    """
+
+    max_steps: Optional[int] = None
+    max_paths: Optional[int] = None
+    max_instructions: Optional[int] = None
+    max_rounds: Optional[int] = None
+    max_wall_time: Optional[float] = None
+    coverage_target: Optional[float] = None
+    stop_on_first_bug: bool = False
+
+    def __post_init__(self) -> None:
+        for name in ("max_steps", "max_paths", "max_instructions", "max_rounds"):
+            value = getattr(self, name)
+            if value is not None and int(value) < 0:
+                raise ValueError("%s must be non-negative, got %r" % (name, value))
+        if self.max_wall_time is not None and self.max_wall_time < 0:
+            raise ValueError("max_wall_time must be non-negative")
+        if self.coverage_target is not None and not (0.0 <= self.coverage_target <= 100.0):
+            raise ValueError("coverage_target must be a percentage in [0, 100]")
+
+    # -- construction helpers ---------------------------------------------------------
+
+    @classmethod
+    def field_names(cls) -> tuple:
+        return tuple(f.name for f in fields(cls))
+
+    @classmethod
+    def pop_from(cls, options: Dict[str, object],
+                 base: Optional["ExplorationLimits"] = None) -> "ExplorationLimits":
+        """Extract limit fields from a kwargs dict, merging over ``base``.
+
+        Mutates ``options`` (pops the recognized keys) so the caller can pass
+        the remainder to the backend as backend-specific options.
+        """
+        picked = {name: options.pop(name)
+                  for name in cls.field_names() if name in options}
+        if base is None:
+            return cls(**picked)
+        return base.merged(**picked)
+
+    def merged(self, **overrides: object) -> "ExplorationLimits":
+        """A copy with the given fields replaced."""
+        unknown = set(overrides) - set(self.field_names())
+        if unknown:
+            raise TypeError("unknown limit field(s): %s" % ", ".join(sorted(unknown)))
+        return replace(self, **overrides)
+
+    # -- introspection ----------------------------------------------------------------
+
+    @property
+    def unbounded(self) -> bool:
+        """True when no budget or goal is set (pure exhaustive exploration)."""
+        return all(getattr(self, f.name) in (None, False) for f in fields(self))
+
+    def satisfied_by(self, paths_completed: int, coverage_percent: float,
+                     bug_count: int) -> bool:
+        """Whether any *goal* (not budget) is met by the given outcome."""
+        if self.max_paths is not None and paths_completed >= self.max_paths:
+            return True
+        if self.coverage_target is not None and coverage_percent >= self.coverage_target:
+            return True
+        if self.stop_on_first_bug and bug_count > 0:
+            return True
+        return False
+
+    def as_dict(self) -> Dict[str, object]:
+        return {f.name: getattr(self, f.name) for f in fields(self)}
+
+    def __repr__(self) -> str:
+        set_fields = ", ".join(
+            "%s=%r" % (f.name, getattr(self, f.name))
+            for f in fields(self) if getattr(self, f.name) not in (None, False))
+        return "ExplorationLimits(%s)" % (set_fields or "unbounded")
+
+
+#: Shared "no limits at all" instance (the dataclass is frozen, so safe).
+UNLIMITED = ExplorationLimits()
+
+
+def effective_limits(limits: Optional[ExplorationLimits],
+                     **explicit: object) -> ExplorationLimits:
+    """Merge explicit per-call kwargs over a limits object.
+
+    ``None`` (and ``False`` for ``stop_on_first_bug``) explicit values are
+    treated as "not given" so they never mask a limit carried by ``limits``.
+    """
+    base = limits if limits is not None else UNLIMITED
+    overrides = {name: value for name, value in explicit.items()
+                 if value is not None and value is not False}
+    return base.merged(**overrides) if overrides else base

@@ -20,6 +20,9 @@ from repro.solver.solver import Solver
 class TestCase:
     """Concrete inputs reproducing one explored path."""
 
+    # Not a pytest test class, despite the name (silences collection warning).
+    __test__ = False
+
     state_id: int
     inputs: Dict[str, bytes]
     path_length: int

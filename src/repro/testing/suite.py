@@ -5,6 +5,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Set
 
+from repro.api.limits import ExplorationLimits, effective_limits
 from repro.engine.errors import BugReport
 from repro.engine.executor import ExplorationResult
 from repro.testing.report import CoverageAccounting
@@ -73,14 +74,22 @@ class SymbolicTestSuite:
 
     def run(self, max_paths_per_test: Optional[int] = None,
             max_steps_per_test: Optional[int] = None,
-            max_instructions_per_test: Optional[int] = None) -> SuiteResult:
-        """Run every test on a single engine and aggregate the results."""
+            max_instructions_per_test: Optional[int] = None,
+            limits: Optional[ExplorationLimits] = None) -> SuiteResult:
+        """Run every test on a single engine and aggregate the results.
+
+        Per-test limits may be given as the legacy ``*_per_test`` kwargs or
+        as one :class:`~repro.api.limits.ExplorationLimits` applied to each
+        test (explicit kwargs win).
+        """
+        per_test_limits = effective_limits(
+            limits,
+            max_paths=max_paths_per_test,
+            max_steps=max_steps_per_test,
+            max_instructions=max_instructions_per_test)
         result = SuiteResult(suite_name=self.name)
         for test in self.tests:
-            exploration = test.run_single(
-                max_paths=max_paths_per_test,
-                max_steps=max_steps_per_test,
-                max_instructions=max_instructions_per_test)
+            exploration = test.run(backend="single", limits=per_test_limits).raw
             result.per_test[test.name] = exploration
             result.line_count = max(result.line_count, exploration.line_count)
         return result

@@ -3,15 +3,25 @@
 A symbolic test encompasses "many similar concrete test cases into a single
 symbolic one" (§5): it names the program under test, how to set up its
 environment (files, sockets, symbolic regions, fault injection, scheduling)
-and the exploration limits.  The same test object can be executed on a single
-engine or farmed out to a Cloud9 cluster.
+and the exploration limits.  The same test object runs unchanged on every
+backend through :meth:`SymbolicTest.run`::
+
+    test.run()                                        # one engine (KLEE)
+    test.run(backend="cluster", workers=8)            # Cloud9 cluster
+    test.run(backend="static", workers=8)             # §2 strawman baseline
+    test.run(backend="threaded", workers=4)           # OS-thread cluster
+
+The per-backend ``run_single``/``run_cluster``/``run_static_cluster``
+methods remain as thin shims returning the legacy result types.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Optional, Sequence, Union
+from dataclasses import dataclass, field, replace
+from typing import Callable, Dict, List, Optional, Sequence, Type, Union
 
+from repro.api.limits import ExplorationLimits, effective_limits
+from repro.api.result import RunResult
 from repro.cluster.coordinator import Cloud9Cluster, ClusterConfig, ClusterResult
 from repro.cluster.static_partition import StaticPartitionCluster, StaticPartitionConfig
 from repro.engine.config import EngineConfig
@@ -74,6 +84,22 @@ class SymbolicTest:
             self.setup(state)
         return state
 
+    # -- the unified entry point ---------------------------------------------------------
+
+    def run(self, backend: str = "single",
+            limits: Optional[ExplorationLimits] = None,
+            **options: object) -> RunResult:
+        """Run this test on any registered backend, returning a
+        :class:`~repro.api.result.RunResult`.
+
+        Limit fields (``max_paths=...``, ``coverage_target=...``, ...) may be
+        passed directly among ``options``; remaining options are
+        backend-specific (``strategy=`` for ``"single"``; ``workers=``,
+        ``config=`` or any cluster-config field for the cluster backends).
+        """
+        from repro.api.runner import run_test
+        return run_test(self, backend=backend, limits=limits, **options)
+
     # -- single-node execution (plain KLEE / 1-worker Cloud9) ----------------------------
 
     def run_single(self,
@@ -83,24 +109,25 @@ class SymbolicTest:
                    max_wall_time: Optional[float] = None,
                    coverage_target: Optional[float] = None,
                    strategy: Optional[str] = None) -> ExplorationResult:
-        executor = self.build_executor()
-        return executor.run(
-            initial_state=lambda: self.build_initial_state(executor),
-            strategy=strategy or self.strategy,
-            max_steps=max_steps,
-            max_paths=max_paths,
-            max_instructions=max_instructions,
-            max_wall_time=max_wall_time,
-            coverage_target=coverage_target,
-        )
+        """Deprecated shim: use ``run(backend="single", ...)`` instead."""
+        limits = effective_limits(None, max_steps=max_steps, max_paths=max_paths,
+                                  max_instructions=max_instructions,
+                                  max_wall_time=max_wall_time,
+                                  coverage_target=coverage_target)
+        return self.run(backend="single", limits=limits, strategy=strategy).raw
 
     # -- cluster execution -----------------------------------------------------------------
 
-    def build_cluster(self, config: Optional[ClusterConfig] = None) -> Cloud9Cluster:
+    def build_cluster(self, config: Optional[ClusterConfig] = None,
+                      cluster_class: Optional[Type[Cloud9Cluster]] = None
+                      ) -> Cloud9Cluster:
         cluster_config = config or ClusterConfig()
         if cluster_config.strategy is None:
-            cluster_config.strategy = self.strategy
-        return Cloud9Cluster(
+            # Copy rather than mutate: the caller's config may be reused
+            # across tests with different strategies.
+            cluster_config = replace(cluster_config, strategy=self.strategy)
+        cluster_cls = cluster_class or Cloud9Cluster
+        return cluster_cls(
             executor_factory=self.build_executor,
             state_factory=self.build_initial_state,
             config=cluster_config,
@@ -113,16 +140,16 @@ class SymbolicTest:
                     max_paths: Optional[int] = None,
                     stop_on_first_bug: bool = False,
                     cluster_config: Optional[ClusterConfig] = None) -> ClusterResult:
+        """Deprecated shim: use ``run(backend="cluster", ...)`` instead."""
+        limits = effective_limits(None, max_rounds=max_rounds,
+                                  coverage_target=target_coverage_percent,
+                                  max_paths=max_paths,
+                                  stop_on_first_bug=stop_on_first_bug)
         config = cluster_config or ClusterConfig(
             num_workers=num_workers,
             instructions_per_round=instructions_per_round,
-            strategy=self.strategy,
         )
-        cluster = self.build_cluster(config)
-        return cluster.run(max_rounds=max_rounds,
-                           target_coverage_percent=target_coverage_percent,
-                           max_paths=max_paths,
-                           stop_on_first_bug=stop_on_first_bug)
+        return self.run(backend="cluster", limits=limits, config=config).raw
 
     # -- static-partitioning baseline (for the ablation benchmarks) -------------------------
 
@@ -130,7 +157,7 @@ class SymbolicTest:
                              ) -> StaticPartitionCluster:
         cluster_config = config or StaticPartitionConfig()
         if cluster_config.strategy is None:
-            cluster_config.strategy = self.strategy
+            cluster_config = replace(cluster_config, strategy=self.strategy)
         return StaticPartitionCluster(
             executor_factory=self.build_executor,
             state_factory=self.build_initial_state,
@@ -144,16 +171,15 @@ class SymbolicTest:
                            max_paths: Optional[int] = None,
                            cluster_config: Optional[StaticPartitionConfig] = None
                            ) -> ClusterResult:
-        """Run the same test on the §2 static-partitioning strawman."""
+        """Deprecated shim: use ``run(backend="static", ...)`` instead."""
+        limits = effective_limits(None, max_rounds=max_rounds,
+                                  coverage_target=target_coverage_percent,
+                                  max_paths=max_paths)
         config = cluster_config or StaticPartitionConfig(
             num_workers=num_workers,
             instructions_per_round=instructions_per_round,
-            strategy=self.strategy,
         )
-        cluster = self.build_static_cluster(config)
-        return cluster.run(max_rounds=max_rounds,
-                           target_coverage_percent=target_coverage_percent,
-                           max_paths=max_paths)
+        return self.run(backend="static", limits=limits, config=config).raw
 
     # -- convenience ---------------------------------------------------------------------------
 

@@ -1,0 +1,112 @@
+"""Tests for Campaign batch execution (repro.api.campaign)."""
+
+import pytest
+
+from repro import lang as L
+from repro.api import Campaign, ExplorationLimits
+from repro.testing import SymbolicTest
+
+from conftest import branchy_program, single_branch_program
+
+
+def buggy_program() -> L.Program:
+    return L.program(
+        "buggy",
+        L.func(
+            "main", [],
+            L.decl("buf", L.call("cloud9_symbolic_buffer", 1, L.strconst("input"))),
+            L.if_(L.eq(L.index(L.var("buf"), 0), ord("!")),
+                  [L.assert_(L.eq(0, 1), "boom"), L.ret(1)],
+                  [L.ret(0)]),
+        ),
+    )
+
+
+class TestCampaignScheduling:
+    def test_add_generates_unique_labels(self):
+        campaign = Campaign("c")
+        test = SymbolicTest("t", single_branch_program())
+        first = campaign.add(test)
+        second = campaign.add(test)
+        assert first.label == "t@single"
+        assert second.label != first.label
+        assert len(campaign) == 2
+
+    def test_explicit_duplicate_label_rejected(self):
+        campaign = Campaign("c")
+        test = SymbolicTest("t", single_branch_program())
+        campaign.add(test, label="only")
+        with pytest.raises(ValueError, match="duplicate campaign label"):
+            campaign.add(test, label="only")
+
+    def test_add_folds_limit_kwargs(self):
+        campaign = Campaign("c", limits=ExplorationLimits(max_rounds=9))
+        test = SymbolicTest("t", single_branch_program())
+        entry = campaign.add(test, backend="cluster", workers=2, max_paths=5)
+        assert entry.limits.max_paths == 5
+        assert entry.limits.max_rounds == 9      # campaign default survives
+        assert entry.options == {"workers": 2}   # backend options remain
+
+    def test_add_grid_expands_configurations(self):
+        campaign = Campaign("c")
+        test = SymbolicTest("t", single_branch_program())
+        entries = campaign.add_grid(test, [
+            {"backend": "single"},
+            {"backend": "cluster", "workers": 2, "label": "two"},
+            {"backend": "cluster", "workers": 4},
+        ])
+        assert len(entries) == 3
+        assert entries[1].label == "two"
+        assert entries[2].options["workers"] == 4
+
+
+class TestCampaignExecution:
+    def test_aggregates_across_tests_and_backends(self):
+        campaign = Campaign("mixed")
+        campaign.add(SymbolicTest("a", single_branch_program()))
+        campaign.add(SymbolicTest("b", branchy_program(1)),
+                     backend="cluster", workers=2, instructions_per_round=50)
+        outcome = campaign.run()
+        assert outcome.total_paths == 2 + 3
+        assert set(outcome.results) == {"a@single", "b@cluster"}
+        assert set(outcome.by_backend()) == {"single", "cluster"}
+        assert outcome.total_useful_instructions > 0
+        # only the cluster entry keeps a timeline
+        assert list(outcome.timelines()) == ["b@cluster"]
+        rows = outcome.summary_rows()
+        assert len(rows) == 2 and rows[0][0] == "a@single"
+
+    def test_grid_combined_coverage_per_test(self):
+        test = SymbolicTest("t", branchy_program(2))
+        campaign = Campaign("grid")
+        campaign.add_grid(test, [
+            {"backend": "single", "max_paths": 2},
+            {"backend": "cluster", "workers": 2, "instructions_per_round": 50},
+        ])
+        outcome = campaign.run()
+        exhaustive = outcome.results["t@cluster"]
+        assert exhaustive.paths_completed == 9
+        # the union over runs covers at least what any single run covered
+        combined = outcome.combined_covered_lines("t")
+        for result in outcome.results.values():
+            assert result.covered_lines <= combined
+        assert (outcome.combined_coverage_percent("t")
+                >= exhaustive.coverage_percent)
+
+    def test_bug_aggregation_and_fail_fast(self):
+        campaign = Campaign("bugs")
+        campaign.add(SymbolicTest("crash", buggy_program()), label="crash")
+        campaign.add(SymbolicTest("fine", single_branch_program()),
+                     label="never-runs")
+        outcome = campaign.run(fail_fast=True)
+        assert list(outcome.results) == ["crash"]
+        assert outcome.bug_summaries()
+        assert len(outcome.all_bugs) >= 1
+
+    def test_on_result_progress_callback(self):
+        campaign = Campaign("cb")
+        campaign.add(SymbolicTest("t", single_branch_program()))
+        seen = []
+        campaign.run(on_result=lambda entry, result:
+                     seen.append((entry.label, result.paths_completed)))
+        assert seen == [("t@single", 2)]
