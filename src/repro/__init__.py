@@ -10,6 +10,8 @@ EuroSys 2011) as a pure-Python library:
 * :mod:`repro.posix`   -- the symbolic POSIX environment model (§4).
 * :mod:`repro.cluster` -- cluster-parallel exploration with dynamic load
   balancing (§3), the paper's core contribution.
+* :mod:`repro.distrib` -- the same protocol across worker processes (real
+  cores): path-encoded job shipping between private engines.
 * :mod:`repro.testing` -- the symbolic-test platform API (§5).
 * :mod:`repro.api`     -- the unified exploration API: one ``run`` surface,
   uniform limits, backend registry, unified results, batch campaigns.
@@ -33,7 +35,8 @@ a cluster, which is the paper's core pitch::
     print(test.run().paths_completed)                       # one engine: 2 paths
     print(test.run(backend="cluster", workers=4).paths_completed)
 
-Every backend (``"single"``, ``"cluster"``, ``"static"``, ``"threaded"``)
+Every backend (``"single"``, ``"cluster"``, ``"static"``, ``"threaded"``,
+``"process"``)
 accepts the same :class:`~repro.api.limits.ExplorationLimits` -- either as a
 ``limits=`` bundle or as direct kwargs -- and returns the same
 :class:`~repro.api.result.RunResult`::

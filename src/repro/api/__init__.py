@@ -6,7 +6,7 @@ This package is the single supported way to execute symbolic tests:
   accepted uniformly by every backend (and by the lower-level ``run``
   methods of the engine and both clusters).
 * :mod:`~repro.api.runner` -- the backend registry (``"single"``,
-  ``"cluster"``, ``"static"``, ``"threaded"``) behind
+  ``"cluster"``, ``"static"``, ``"threaded"``, ``"process"``) behind
   ``SymbolicTest.run(backend=...)``.
 * :class:`~repro.api.result.RunResult` -- the backend-independent result
   facade, adapting the legacy ``ExplorationResult``/``ClusterResult`` types
@@ -19,6 +19,7 @@ from repro.api.limits import UNLIMITED, ExplorationLimits, effective_limits
 from repro.api.result import RunResult
 from repro.api.runner import (
     ClusterRunner,
+    ProcessRunner,
     Runner,
     SingleRunner,
     StaticPartitionRunner,
@@ -40,6 +41,7 @@ __all__ = [
     "ClusterRunner",
     "StaticPartitionRunner",
     "ThreadedRunner",
+    "ProcessRunner",
     "available_backends",
     "get_runner",
     "register_runner",

@@ -19,7 +19,7 @@ from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Set
 
 from repro.cluster.coordinator import ClusterResult
-from repro.cluster.stats import ClusterTimeline, WorkerStats
+from repro.cluster.stats import ClusterTimeline, TransferCost, WorkerStats
 from repro.engine.errors import BugKind, BugReport
 from repro.engine.executor import ExplorationResult
 from repro.engine.test_case import TestCase
@@ -53,6 +53,12 @@ class RunResult:
     timeline: Optional[ClusterTimeline] = None
     worker_stats: Optional[Dict[int, WorkerStats]] = None
     states_transferred: Optional[int] = None
+    #: Wire cost of path-encoded job transfers (None for single-engine runs,
+    #: which never transfer; zeroed for clusters that happened not to).
+    transfer_cost: Optional[TransferCost] = None
+    #: Aggregated solver-cache hit/miss counters and hit rates (§6: replay
+    #: rebuilds the relevant cache entries at the destination worker).
+    cache_stats: Optional[Dict[str, float]] = None
     #: The legacy result object this facade was adapted from.
     raw: object = None
 
@@ -99,10 +105,16 @@ class RunResult:
 
     # -- adapters from the legacy result types ----------------------------------------
 
+    @property
+    def transfer_savings_ratio(self) -> float:
+        """Prefix-sharing savings of the JobTree transfer encoding."""
+        return self.transfer_cost.savings_ratio if self.transfer_cost else 0.0
+
     @classmethod
     def from_exploration(cls, result: ExplorationResult, *, backend: str = "single",
                          test_name: Optional[str] = None,
-                         limits: Optional[ExplorationLimits] = None) -> "RunResult":
+                         limits: Optional[ExplorationLimits] = None,
+                         cache_stats: Optional[Dict[str, float]] = None) -> "RunResult":
         """Adapt a single-engine :class:`ExplorationResult`.
 
         ``goal_reached`` is recomputed from ``limits`` because the legacy type
@@ -132,6 +144,8 @@ class RunResult:
             timeline=None,
             worker_stats=None,
             states_transferred=None,
+            transfer_cost=None,
+            cache_stats=cache_stats,
             raw=result,
         )
 
@@ -160,5 +174,7 @@ class RunResult:
             timeline=result.timeline,
             worker_stats=dict(result.worker_stats),
             states_transferred=result.total_states_transferred,
+            transfer_cost=result.transfer_cost,
+            cache_stats=dict(result.cache_stats) if result.cache_stats else None,
             raw=result,
         )

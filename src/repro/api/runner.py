@@ -16,19 +16,27 @@ Built-in backends:
   balancing (:class:`~repro.cluster.coordinator.Cloud9Cluster`).
 * ``"static"``   -- the §2 static-partitioning strawman baseline.
 * ``"threaded"`` -- the Cloud9 cluster with workers stepped on an OS thread
-  pool each round (wall-clock parallelism on one machine).
+  pool each round (wall-clock parallelism on one machine, bounded by the
+  GIL).
+* ``"process"`` -- the multiprocess cluster (:mod:`repro.distrib`): worker
+  processes on real cores, jobs shipped as path-encoded trees and replayed
+  at the destination.  Requires a test built from a registered spec
+  (:func:`repro.distrib.specs.resolve_test`) or an explicit ``spec=`` option,
+  because live tests do not pickle.
 
 New backends register through :func:`register_runner`, e.g. a future
-process-pool or RPC-sharded runner.
+RPC-sharded runner.
 """
 
 from __future__ import annotations
 
+from dataclasses import replace as _dc_replace
 from typing import TYPE_CHECKING, Dict, Optional, Tuple
 
 from repro.cluster.coordinator import ClusterConfig
 from repro.cluster.static_partition import StaticPartitionConfig
 from repro.cluster.threaded import ThreadedCloud9Cluster
+from repro.solver.cache import aggregate_cache_counters
 
 from repro.api.limits import ExplorationLimits
 from repro.api.result import RunResult
@@ -50,6 +58,7 @@ __all__ = [
     "ClusterRunner",
     "StaticPartitionRunner",
     "ThreadedRunner",
+    "ProcessRunner",
     "available_backends",
     "get_runner",
     "register_runner",
@@ -108,8 +117,11 @@ class SingleRunner:
             strategy=strategy or test.strategy,
             limits=limits,
         )
+        cache_stats = aggregate_cache_counters(
+            [executor.solver.cache_counters()])
         return RunResult.from_exploration(result, backend=self.name,
-                                          test_name=test.name, limits=limits)
+                                          test_name=test.name, limits=limits,
+                                          cache_stats=cache_stats)
 
 
 class ClusterRunner:
@@ -134,6 +146,51 @@ class ThreadedRunner(ClusterRunner):
 
     name = "threaded"
     cluster_class = ThreadedCloud9Cluster
+
+
+class ProcessRunner:
+    """The multiprocess cluster: worker processes with path-encoded job
+    shipping (:mod:`repro.distrib`)."""
+
+    name = "process"
+
+    def run(self, test: "SymbolicTest",
+            limits: Optional[ExplorationLimits] = None,
+            workers: Optional[int] = None,
+            spec: Optional[str] = None,
+            spec_params: Optional[Dict[str, object]] = None,
+            **options: object) -> RunResult:
+        # Imported lazily: repro.distrib reaches back into the testing layer
+        # (which imports repro.api), so a module-level import would cycle.
+        from repro.distrib.cluster import ProcessCloud9Cluster, ProcessClusterConfig
+
+        if spec is None and spec_params is None:
+            # The test carries its own spec: workers rebuild this very
+            # program, so its line count is authoritative.
+            spec = test.spec_name
+            spec_params = dict(test.spec_params)
+            line_count: Optional[int] = test.program.line_count
+        else:
+            # Explicit spec= and/or spec_params= override: the spec may
+            # build a different program; let the cluster resolve it to
+            # measure the real line count.
+            line_count = None
+            if spec is None:
+                spec = test.spec_name
+        if spec is None:
+            raise ValueError(
+                "backend 'process' ships tests to worker processes by spec "
+                "name, but %r carries none; build it with "
+                "repro.distrib.specs.resolve_test(...) or pass spec=" % test.name)
+        config = _build_cluster_config(ProcessClusterConfig, workers, options)
+        if config.strategy is None:
+            config = _dc_replace(config, strategy=test.strategy)
+        cluster = ProcessCloud9Cluster(
+            spec, spec_params=spec_params, config=config,
+            line_count=line_count)
+        result = cluster.run(limits=limits)
+        return RunResult.from_cluster(result, backend=self.name,
+                                      test_name=test.name)
 
 
 class StaticPartitionRunner:
@@ -195,6 +252,6 @@ def run_test(test: "SymbolicTest", backend: str = "single",
 
 
 for _runner in (SingleRunner(), ClusterRunner(), StaticPartitionRunner(),
-                ThreadedRunner()):
+                ThreadedRunner(), ProcessRunner()):
     register_runner(_runner)
 del _runner

@@ -20,7 +20,7 @@ from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional, Sequence, Set, Tuple
 
 from repro.cluster.load_balancer import LoadBalancer, TransferCommand
-from repro.cluster.stats import ClusterTimeline, RoundSnapshot, WorkerStats
+from repro.cluster.stats import ClusterTimeline, RoundSnapshot, TransferCost, WorkerStats
 from repro.cluster.transport import LOAD_BALANCER_ID, Message, MessageKind, Transport
 from repro.cluster.worker import DEFAULT_STRATEGY, Worker
 from repro.engine.errors import BugReport
@@ -28,6 +28,7 @@ from repro.engine.executor import SymbolicExecutor
 from repro.engine.limits import ExplorationLimits, effective_limits
 from repro.engine.state import ExecutionState
 from repro.engine.test_case import TestCase
+from repro.solver.cache import aggregate_cache_counters
 
 ExecutorFactory = Callable[[], SymbolicExecutor]
 StateFactory = Callable[[SymbolicExecutor], ExecutionState]
@@ -84,6 +85,10 @@ class ClusterResult:
     # Real elapsed seconds of the run (rounds are virtual time, but the
     # threaded cluster's wall-clock speedup is only visible here).
     wall_time: float = 0.0
+    # Wire cost of the path-encoded job transfers (prefix-sharing savings).
+    transfer_cost: TransferCost = field(default_factory=TransferCost)
+    # Aggregated solver-cache hit/miss counters across all worker solvers.
+    cache_stats: Dict[str, float] = field(default_factory=dict)
 
     @property
     def useful_instructions_per_worker(self) -> float:
@@ -317,6 +322,10 @@ class Cloud9Cluster:
             result.worker_stats[worker.worker_id] = worker.stats
         result.bugs = _dedupe_bugs(all_bugs)
         result.messages_sent = self.transport.messages_sent
+        result.transfer_cost = TransferCost.from_worker_stats(
+            result.worker_stats.values())
+        result.cache_stats = aggregate_cache_counters(
+            w.executor.solver.cache_counters() for w in self.workers)
         return result
 
     # -- invariants (used by the test suite) -------------------------------------------------

@@ -39,11 +39,12 @@ from repro.cluster.coordinator import (
     _dedupe_bugs,
 )
 from repro.cluster.jobs import Job, JobTree
-from repro.cluster.stats import RoundSnapshot
+from repro.cluster.stats import RoundSnapshot, TransferCost
 from repro.cluster.worker import DEFAULT_STRATEGY, Worker
 from repro.engine.errors import BugReport
 from repro.engine.limits import ExplorationLimits, effective_limits
 from repro.engine.test_case import TestCase
+from repro.solver.cache import aggregate_cache_counters
 
 
 @dataclass
@@ -262,6 +263,10 @@ class StaticPartitionCluster:
             result.test_cases.extend(worker.test_cases)
             result.worker_stats[worker.worker_id] = worker.stats
         result.bugs = _dedupe_bugs(all_bugs)
+        result.transfer_cost = TransferCost.from_worker_stats(
+            result.worker_stats.values())
+        result.cache_stats = aggregate_cache_counters(
+            w.executor.solver.cache_counters() for w in self.workers)
         return result
 
     # -- invariants (used by the test suite) ---------------------------------------------

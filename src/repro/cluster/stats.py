@@ -12,7 +12,7 @@ snapshots that the benchmark harness turns into the paper's figures
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional
+from typing import Dict, Iterable, List, Optional
 
 
 @dataclass
@@ -28,6 +28,10 @@ class WorkerStats:
     replays: int = 0
     broken_replays: int = 0
     schedule_steps: int = 0
+    # Transfer-encoding cost (§3.2: jobs ship as a prefix-sharing job tree).
+    transfers: int = 0
+    transfer_encoded_nodes: int = 0
+    transfer_naive_nodes: int = 0
 
     @property
     def total_instructions(self) -> int:
@@ -37,6 +41,43 @@ class WorkerStats:
     def replay_overhead(self) -> float:
         total = self.total_instructions
         return self.replay_instructions / total if total else 0.0
+
+
+@dataclass
+class TransferCost:
+    """Aggregate wire cost of every job transfer in a run.
+
+    ``encoded_nodes`` counts trie edges actually shipped (the JobTree
+    encoding); ``naive_nodes`` counts what shipping each path separately
+    would have cost.  The difference is the prefix-sharing savings the paper
+    claims for path-encoded job transfers (§3.2).
+    """
+
+    transfers: int = 0
+    jobs: int = 0
+    encoded_nodes: int = 0
+    naive_nodes: int = 0
+
+    @property
+    def savings_ratio(self) -> float:
+        """Fraction of naive wire cost avoided by the trie encoding."""
+        if not self.naive_nodes:
+            return 0.0
+        return 1.0 - self.encoded_nodes / self.naive_nodes
+
+    @property
+    def nodes_per_job(self) -> float:
+        return self.encoded_nodes / self.jobs if self.jobs else 0.0
+
+    @classmethod
+    def from_worker_stats(cls, stats: Iterable[WorkerStats]) -> "TransferCost":
+        total = cls()
+        for s in stats:
+            total.transfers += s.transfers
+            total.jobs += s.jobs_exported
+            total.encoded_nodes += s.transfer_encoded_nodes
+            total.naive_nodes += s.transfer_naive_nodes
+        return total
 
 
 @dataclass

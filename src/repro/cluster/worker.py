@@ -232,7 +232,11 @@ class Worker:
             node.mark_fence()
             self._remove_candidate(node)
             self.stats.jobs_exported += 1
-        return JobTree.from_jobs(jobs)
+        job_tree = JobTree.from_jobs(jobs)
+        self.stats.transfers += 1
+        self.stats.transfer_encoded_nodes += job_tree.encoded_size()
+        self.stats.transfer_naive_nodes += JobTree.naive_size(jobs)
+        return job_tree
 
     def import_jobs(self, job_tree: JobTree) -> int:
         """Add the leaves of an incoming job tree to the frontier as virtual nodes."""

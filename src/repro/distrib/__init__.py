@@ -1,0 +1,40 @@
+"""Multiprocess exploration: real cores behind the same cluster protocol.
+
+The in-process clusters (:mod:`repro.cluster`) simulate the paper's
+distributed architecture on virtual time, and the threaded variant adds OS
+threads -- but a pure-Python interpreter under the GIL leaves the extra cores
+mostly idle.  This package runs the same worker/load-balancer protocol across
+*worker processes*, exchanging only the small picklable messages the paper's
+design already calls for (§3.2): status updates, transfer requests, and
+path-encoded :class:`~repro.cluster.jobs.JobTree` payloads that the
+destination process materializes with
+:func:`~repro.cluster.replay.replay_path`.
+
+Because live execution states and programs built from closures do not
+pickle, work ships as ``(spec_name, path)`` pairs: :mod:`repro.distrib.specs`
+keeps a registry of named test factories, and every worker process rebuilds
+the program locally from the spec before replaying paths into it.
+
+Public pieces:
+
+* :mod:`repro.distrib.specs` -- the test-spec registry
+  (:func:`~repro.distrib.specs.resolve_test` and friends).
+* :class:`~repro.distrib.cluster.ProcessCloud9Cluster` -- the coordinator,
+  registered as the ``"process"`` backend of :mod:`repro.api.runner`.
+* :class:`~repro.distrib.worker.DistribWorker` -- the per-process worker
+  loop (also drivable in-process, which is how the unit tests exercise
+  broken-replay handling without forking).
+"""
+
+from repro.distrib.cluster import ProcessCloud9Cluster, ProcessClusterConfig
+from repro.distrib.specs import available_specs, register_spec, resolve_test
+from repro.distrib.worker import DistribWorker
+
+__all__ = [
+    "ProcessCloud9Cluster",
+    "ProcessClusterConfig",
+    "DistribWorker",
+    "available_specs",
+    "register_spec",
+    "resolve_test",
+]

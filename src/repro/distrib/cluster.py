@@ -1,0 +1,449 @@
+"""The multiprocess Cloud9 cluster: N worker processes, one load balancer.
+
+This is the paper's deployment shape on one machine: shared-nothing workers
+(each owning a private executor, solver, strategy and subtree of the global
+execution tree) coordinated by a load balancer that only ever sees queue
+lengths and coverage bit vectors (§3.1/§3.3).  Work moves between processes
+as path-encoded job trees that the destination replays (§3.2) -- never as
+serialized program state.
+
+The coordinator keeps the virtual-time round structure of
+:class:`~repro.cluster.coordinator.Cloud9Cluster` so results are directly
+comparable across backends: each round it commands every worker process to
+explore one instruction budget (the processes run concurrently on real
+cores), collects their status updates, runs the balancing algorithm, and
+brokers any job transfers synchronously before the next round.  The returned
+:class:`~repro.cluster.coordinator.ClusterResult` has the same timeline,
+worker stats, transfer-cost and cache-stats fields as the in-process
+clusters.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import queue as queue_module
+import time
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Set, Tuple
+
+from repro.cluster.coordinator import ClusterResult, _dedupe_bugs
+from repro.cluster.load_balancer import LoadBalancer
+from repro.cluster.stats import RoundSnapshot, TransferCost
+from repro.distrib.messages import (
+    ErrorReply,
+    ExploreCommand,
+    ExportCommand,
+    FinalizeCommand,
+    FinalReply,
+    ImportCommand,
+    ReadyReply,
+    SeedCommand,
+    StatusReply,
+    StopCommand,
+)
+from repro.distrib.worker import worker_main
+from repro.engine.errors import BugReport
+from repro.engine.limits import ExplorationLimits, effective_limits
+from repro.solver.cache import aggregate_cache_counters
+
+__all__ = ["ProcessClusterConfig", "ProcessCloud9Cluster", "WorkerProcessError",
+           "default_start_method", "default_mp_context"]
+
+
+class WorkerProcessError(RuntimeError):
+    """A worker process crashed or stopped answering."""
+
+
+def default_start_method() -> str:
+    """The start method process-based execution prefers: "fork" where
+    available (cheap, inherits runtime-registered specs), else "spawn".
+    Shared by the process cluster and the Campaign pool so the two process
+    paths cannot diverge."""
+    return ("fork" if "fork" in multiprocessing.get_all_start_methods()
+            else "spawn")
+
+
+def default_mp_context():
+    return multiprocessing.get_context(default_start_method())
+
+
+@dataclass
+class ProcessClusterConfig:
+    """Configuration of a multiprocess Cloud9 cluster.
+
+    Mirrors :class:`~repro.cluster.coordinator.ClusterConfig` where the
+    concepts coincide; the extra knobs cover process management.  The default
+    ``instructions_per_round`` is higher than the in-process cluster's
+    because each round costs a command/reply round trip per worker, and
+    amortizing that IPC is what makes real-core parallelism pay off.
+    """
+
+    num_workers: int = 2
+    instructions_per_round: int = 2000
+    status_update_interval: int = 1
+    balance_interval: int = 1
+    delta: float = 1.0
+    min_transfer: int = 1
+    strategy: Optional[str] = None
+    load_balancing_enabled: bool = True
+    disable_balancing_after_round: Optional[int] = None
+    max_rounds: int = 10_000
+    #: multiprocessing start method; None picks "fork" where available
+    #: (cheap, inherits runtime-registered specs) and "spawn" elsewhere.
+    start_method: Optional[str] = None
+    #: Modules each worker process imports before resolving the spec, for
+    #: specs registered outside repro.targets (required under "spawn").
+    spec_modules: Tuple[str, ...] = ()
+    #: Seconds to keep waiting for a reply from a worker whose process has
+    #: already exited (a drain grace for replies still in the queue).  A
+    #: *live* worker is waited on indefinitely -- a big
+    #: ``instructions_per_round`` legitimately takes long, exactly as it
+    #: would on the in-process backends; bound total time with
+    #: ``ExplorationLimits.max_wall_time`` instead.
+    reply_timeout: float = 30.0
+
+    def __post_init__(self) -> None:
+        if self.num_workers < 1:
+            raise ValueError("a cluster needs at least one worker")
+        if self.instructions_per_round < 1:
+            raise ValueError("instructions_per_round must be positive")
+        if self.reply_timeout <= 0:
+            raise ValueError("reply_timeout must be positive")
+
+
+class _WorkerHandle:
+    """Coordinator-side bookkeeping for one worker process."""
+
+    def __init__(self, worker_id: int, process, command_queue, reply_queue):
+        self.worker_id = worker_id
+        self.process = process
+        self.command_queue = command_queue
+        self.reply_queue = reply_queue
+        self.queue_length = 0
+        self.paths_completed = 0
+        self.bugs_found = 0
+        self.useful_instructions = 0
+        self.replay_instructions = 0
+        #: Merged coverage bits to piggyback on the next explore command.
+        self.pending_coverage_bits: Optional[int] = None
+
+
+class ProcessCloud9Cluster:
+    """Run a registered test spec across worker processes.
+
+    Parameters
+    ----------
+    spec_name / spec_params:
+        The registered test spec every worker process rebuilds locally
+        (see :mod:`repro.distrib.specs`).
+    config:
+        Cluster knobs; defaults to ``ProcessClusterConfig()``.
+    line_count:
+        The program's line count (for the coverage overlay).  When omitted,
+        the spec is resolved once in the coordinator to measure it.
+    """
+
+    def __init__(self, spec_name: str,
+                 spec_params: Optional[Dict[str, object]] = None,
+                 config: Optional[ProcessClusterConfig] = None,
+                 line_count: Optional[int] = None,
+                 strategy: Optional[str] = None):
+        from repro.distrib import specs
+        self.config = config or ProcessClusterConfig()
+        self.spec_name = spec_name
+        self.spec_params = dict(spec_params or {})
+        # Validate the spec (and its arguments' picklability matters only in
+        # the children; a bad name should fail fast here in the parent).
+        specs.get_spec(spec_name)
+        self.strategy = strategy if strategy is not None else self.config.strategy
+        if line_count is None:
+            line_count = specs.resolve_test(
+                spec_name, **self.spec_params).program.line_count
+        self.line_count = line_count
+        self.load_balancer = LoadBalancer(line_count=line_count,
+                                          delta=self.config.delta,
+                                          min_transfer=self.config.min_transfer)
+        self.handles: List[_WorkerHandle] = []
+        self.messages_sent = 0
+
+    # -- process management ------------------------------------------------------------
+
+    def _context(self):
+        method = self.config.start_method or default_start_method()
+        return multiprocessing.get_context(method)
+
+    def _start_workers(self) -> None:
+        ctx = self._context()
+        for index in range(self.config.num_workers):
+            worker_id = index + 1
+            command_queue = ctx.Queue()
+            reply_queue = ctx.Queue()
+            process = ctx.Process(
+                target=worker_main,
+                args=(worker_id, self.spec_name, self.spec_params,
+                      self.strategy, tuple(self.config.spec_modules),
+                      command_queue, reply_queue),
+                name="cloud9-worker-%d" % worker_id,
+                daemon=True)
+            process.start()
+            self.handles.append(
+                _WorkerHandle(worker_id, process, command_queue, reply_queue))
+            self.load_balancer.register_worker(worker_id)
+        for handle in self.handles:
+            ready = self._receive(handle)
+            if not isinstance(ready, ReadyReply):
+                raise WorkerProcessError(
+                    "worker %d sent %r instead of ReadyReply"
+                    % (handle.worker_id, ready))
+            if ready.line_count != self.line_count:
+                raise WorkerProcessError(
+                    "worker %d compiled a program with %d lines, coordinator "
+                    "expected %d -- the spec factory is not deterministic"
+                    % (handle.worker_id, ready.line_count, self.line_count))
+
+    def _shutdown_workers(self) -> None:
+        for handle in self.handles:
+            if handle.process.is_alive():
+                try:
+                    handle.command_queue.put(StopCommand())
+                except (OSError, ValueError):  # pragma: no cover - queue torn down
+                    pass
+        for handle in self.handles:
+            handle.process.join(timeout=5.0)
+            if handle.process.is_alive():  # pragma: no cover - stuck worker
+                handle.process.terminate()
+                handle.process.join(timeout=5.0)
+            # Drain and close queues so their feeder threads exit promptly.
+            for q in (handle.command_queue, handle.reply_queue):
+                try:
+                    while True:
+                        q.get_nowait()
+                except (queue_module.Empty, OSError, ValueError):
+                    pass
+                q.close()
+        self.handles = []
+
+    # -- messaging ---------------------------------------------------------------------
+
+    def _send(self, handle: _WorkerHandle, command) -> None:
+        handle.command_queue.put(command)
+        self.messages_sent += 1
+
+    def _receive(self, handle: _WorkerHandle):
+        death_deadline: Optional[float] = None
+        while True:
+            try:
+                reply = handle.reply_queue.get(timeout=0.5)
+            except queue_module.Empty:
+                if handle.process.is_alive():
+                    # Still computing; a long round is legitimate.  Total run
+                    # time is bounded by limits, not by this loop.
+                    continue
+                # Dead process: give queued replies a grace period to drain,
+                # then report the death.
+                if death_deadline is None:
+                    death_deadline = time.monotonic() + self.config.reply_timeout
+                if time.monotonic() >= death_deadline:
+                    raise WorkerProcessError(
+                        "worker %d died (exit code %r)"
+                        % (handle.worker_id, handle.process.exitcode)) from None
+                continue
+            if isinstance(reply, ErrorReply):
+                raise WorkerProcessError(
+                    "worker %d failed:\n%s" % (handle.worker_id, reply.details))
+            return reply
+
+    # -- helpers -----------------------------------------------------------------------
+
+    def _balancing_active(self, round_index: int) -> bool:
+        if not self.config.load_balancing_enabled:
+            return False
+        cutoff = self.config.disable_balancing_after_round
+        if cutoff is not None and round_index >= cutoff:
+            return False
+        return True
+
+    def _total_candidates(self) -> int:
+        return sum(h.queue_length for h in self.handles)
+
+    def _apply_status(self, handle: _WorkerHandle, status: StatusReply) -> None:
+        handle.queue_length = status.queue_length
+        handle.paths_completed = status.paths_completed
+        handle.bugs_found = status.bugs_found
+        handle.useful_instructions = status.useful_instructions
+        handle.replay_instructions = status.replay_instructions
+
+    # -- main loop ---------------------------------------------------------------------
+
+    def run(self, max_rounds: Optional[int] = None,
+            target_coverage_percent: Optional[float] = None,
+            max_paths: Optional[int] = None,
+            stop_on_first_bug: bool = False,
+            max_wall_time: Optional[float] = None,
+            max_instructions: Optional[int] = None,
+            limits: Optional[ExplorationLimits] = None) -> ClusterResult:
+        """Run rounds until exhaustion, a goal, or a budget is spent.
+
+        Accepts the same ``limits`` bundle as
+        :meth:`~repro.cluster.coordinator.Cloud9Cluster.run`.
+        """
+        lim = effective_limits(limits, max_rounds=max_rounds,
+                               coverage_target=target_coverage_percent,
+                               max_paths=max_paths,
+                               stop_on_first_bug=stop_on_first_bug,
+                               max_wall_time=max_wall_time,
+                               max_instructions=max_instructions)
+        try:
+            return self._run(lim)
+        finally:
+            self._shutdown_workers()
+
+    def _run(self, lim: ExplorationLimits) -> ClusterResult:
+        config = self.config
+        limit = lim.max_rounds if lim.max_rounds is not None else config.max_rounds
+        result = ClusterResult(num_workers=config.num_workers,
+                               line_count=self.line_count)
+        start = time.monotonic()
+
+        self._start_workers()
+        # The first worker to join receives the seed job (§3.1).
+        seed_handle = self.handles[0]
+        self._send(seed_handle, SeedCommand())
+        self._apply_status(seed_handle, self._receive(seed_handle))
+
+        instructions_executed = 0
+        round_index = 0
+        while round_index < limit:
+            balancing = self._balancing_active(round_index)
+
+            # 1. One round of exploration, concurrently across processes.
+            useful_before = sum(h.useful_instructions for h in self.handles)
+            replay_before = sum(h.replay_instructions for h in self.handles)
+            for handle in self.handles:
+                self._send(handle, ExploreCommand(
+                    budget=config.instructions_per_round,
+                    global_coverage_bits=handle.pending_coverage_bits))
+                handle.pending_coverage_bits = None
+            statuses: Dict[int, StatusReply] = {}
+            for handle in self.handles:
+                status = self._receive(handle)
+                statuses[handle.worker_id] = status
+                self._apply_status(handle, status)
+            useful_delta = sum(h.useful_instructions for h in self.handles) - useful_before
+            replay_delta = sum(h.replay_instructions for h in self.handles) - replay_before
+            instructions_executed += useful_delta + replay_delta
+
+            # 2. Status updates into the load balancer + coverage merge.
+            if round_index % config.status_update_interval == 0:
+                for handle in self.handles:
+                    status = statuses[handle.worker_id]
+                    merged_bits = self.load_balancer.receive_status(
+                        worker_id=handle.worker_id,
+                        queue_length=status.queue_length,
+                        useful_instructions=status.useful_instructions,
+                        coverage_bits=status.coverage_bits,
+                        round_index=round_index)
+                    handle.pending_coverage_bits = merged_bits
+
+            # 3. Balancing decisions and synchronous job transfers.
+            states_transferred = 0
+            if balancing and round_index % config.balance_interval == 0:
+                by_id = {h.worker_id: h for h in self.handles}
+                for command in self.load_balancer.balance(round_index):
+                    result.transfer_commands += 1
+                    source = by_id[command.source]
+                    destination = by_id[command.destination]
+                    self._send(source, ExportCommand(count=command.job_count))
+                    export = self._receive(source)
+                    source.queue_length -= export.job_count
+                    if export.encoded_jobs is None:
+                        continue
+                    self._send(destination,
+                               ImportCommand(encoded_jobs=export.encoded_jobs))
+                    imported = self._receive(destination)
+                    destination.queue_length += imported.imported
+                    states_transferred += imported.imported
+                    # Keep the balancer's view fresh within this round.
+                    self.load_balancer.reports[command.source].queue_length = \
+                        source.queue_length
+                    self.load_balancer.reports[command.destination].queue_length = \
+                        destination.queue_length
+
+            # 4. Record the round.
+            covered_count = self.load_balancer.overlay.covered_count
+            coverage_percent = (100.0 * covered_count / self.line_count
+                                if self.line_count else 0.0)
+            paths_completed = sum(h.paths_completed for h in self.handles)
+            bugs_found = sum(h.bugs_found for h in self.handles)
+            result.timeline.record(RoundSnapshot(
+                round_index=round_index,
+                queue_lengths={h.worker_id: h.queue_length for h in self.handles},
+                total_candidates=self._total_candidates(),
+                states_transferred=states_transferred,
+                useful_instructions=useful_delta,
+                replay_instructions=replay_delta,
+                covered_lines=covered_count,
+                coverage_percent=coverage_percent,
+                paths_completed=paths_completed,
+                bugs_found=bugs_found,
+                load_balancing_enabled=balancing,
+            ))
+            result.total_states_transferred += states_transferred
+            round_index += 1
+
+            # 5. Termination checks (same order as the in-process cluster).
+            if (lim.coverage_target is not None
+                    and coverage_percent >= lim.coverage_target):
+                result.goal_reached = True
+                break
+            if lim.max_paths is not None and paths_completed >= lim.max_paths:
+                result.goal_reached = True
+                break
+            if lim.stop_on_first_bug and bugs_found:
+                result.goal_reached = True
+                break
+            if self._total_candidates() == 0:
+                result.exhausted = True
+                break
+            # Budget limits (spent, not reached: goal_reached stays False).
+            if (lim.max_instructions is not None
+                    and instructions_executed >= lim.max_instructions):
+                break
+            if (lim.max_wall_time is not None
+                    and time.monotonic() - start >= lim.max_wall_time):
+                break
+
+        result.wall_time = time.monotonic() - start
+        return self._finalize(result, round_index)
+
+    # -- result assembly ---------------------------------------------------------------
+
+    def _finalize(self, result: ClusterResult, rounds: int) -> ClusterResult:
+        finals: List[FinalReply] = []
+        for handle in self.handles:
+            self._send(handle, FinalizeCommand())
+            finals.append(self._receive(handle))
+
+        result.rounds_executed = rounds
+        result.paths_completed = sum(f.paths_completed for f in finals)
+        result.total_useful_instructions = sum(
+            f.stats.useful_instructions for f in finals)
+        result.total_replay_instructions = sum(
+            f.stats.replay_instructions for f in finals)
+        covered: Set[int] = set()
+        all_bugs: List[BugReport] = []
+        for final in finals:
+            covered.update(final.covered_lines)
+            all_bugs.extend(final.bugs)
+            result.test_cases.extend(final.test_cases)
+            result.worker_stats[final.worker_id] = final.stats
+        result.covered_lines = covered
+        result.coverage_percent = (100.0 * len(covered) / result.line_count
+                                   if result.line_count else 0.0)
+        result.bugs = _dedupe_bugs(all_bugs)
+        result.messages_sent = self.messages_sent
+        result.transfer_cost = TransferCost.from_worker_stats(
+            result.worker_stats.values())
+        result.cache_stats = aggregate_cache_counters(
+            f.cache_counters for f in finals)
+        return result

@@ -1,0 +1,156 @@
+"""The worker-process side of the multiprocess cluster.
+
+:class:`DistribWorker` wraps the ordinary in-process
+:class:`~repro.cluster.worker.Worker` -- the same frontier bookkeeping,
+job export/import, lazy replay with fence nodes, and broken-replay detection
+(§3.2/§6) -- behind a command/reply interface whose messages all pickle.
+:func:`worker_main` is the process entry point: it rebuilds the test from its
+spec, then pumps commands from a queue into a ``DistribWorker``.
+
+``DistribWorker`` is deliberately drivable without any process machinery:
+the unit tests construct one directly and feed it commands, which is how
+broken-replay handling (a shipped job whose path diverges or terminates
+prematurely at the destination) is tested deterministically.
+"""
+
+from __future__ import annotations
+
+import importlib
+import traceback
+from typing import Optional, Sequence
+
+from repro.cluster.jobs import JobTree
+from repro.cluster.worker import Worker
+from repro.distrib.messages import (
+    ErrorReply,
+    ExploreCommand,
+    ExportCommand,
+    ExportReply,
+    FinalizeCommand,
+    FinalReply,
+    ImportCommand,
+    ImportReply,
+    ReadyReply,
+    SeedCommand,
+    StatusReply,
+    StopCommand,
+)
+
+__all__ = ["DistribWorker", "worker_main"]
+
+
+class DistribWorker:
+    """One worker process's state: a private engine plus the command loop."""
+
+    def __init__(self, worker_id: int, test, strategy: Optional[str] = None):
+        self.worker_id = worker_id
+        self.test = test
+        executor = test.build_executor()
+        self.worker = Worker(worker_id, executor, test.build_initial_state,
+                             strategy_name=strategy or test.strategy)
+
+    @property
+    def line_count(self) -> int:
+        return self.worker.executor.program.line_count
+
+    # -- command handlers --------------------------------------------------------------
+
+    def handle(self, command):
+        """Process one command, returning its reply."""
+        if isinstance(command, SeedCommand):
+            self.worker.seed()
+            return self.status()
+        if isinstance(command, ExploreCommand):
+            return self._explore(command)
+        if isinstance(command, ExportCommand):
+            return self._export(command)
+        if isinstance(command, ImportCommand):
+            return self._import(command)
+        if isinstance(command, FinalizeCommand):
+            return self._finalize()
+        raise TypeError("unknown worker command %r" % (command,))
+
+    def status(self) -> StatusReply:
+        worker = self.worker
+        return StatusReply(
+            worker_id=self.worker_id,
+            queue_length=worker.queue_length,
+            useful_instructions=worker.stats.useful_instructions,
+            replay_instructions=worker.stats.replay_instructions,
+            coverage_bits=worker.coverage_view.snapshot_bits(),
+            paths_completed=worker.paths_completed,
+            bugs_found=len(worker.bugs),
+            broken_replays=worker.stats.broken_replays,
+        )
+
+    def _explore(self, command: ExploreCommand) -> StatusReply:
+        if command.global_coverage_bits is not None:
+            new_lines = self.worker.coverage_view.merge_global(
+                command.global_coverage_bits)
+            self.worker.strategy.merge_global_coverage(new_lines)
+        if self.worker.has_work:
+            # Worker.explore replays virtual candidates lazily as the
+            # strategy selects them; a job whose replay breaks (divergence or
+            # premature termination) is reported in ``broken_replays`` and
+            # its node dropped -- the worker itself keeps going.
+            self.worker.explore(command.budget)
+        return self.status()
+
+    def _export(self, command: ExportCommand) -> ExportReply:
+        job_tree = self.worker.export_jobs(command.count)
+        count = len(job_tree)
+        return ExportReply(
+            worker_id=self.worker_id,
+            encoded_jobs=job_tree.encode() if count else None,
+            job_count=count,
+        )
+
+    def _import(self, command: ImportCommand) -> ImportReply:
+        job_tree = JobTree.decode(command.encoded_jobs)
+        imported = self.worker.import_jobs(job_tree)
+        return ImportReply(worker_id=self.worker_id, imported=imported)
+
+    def _finalize(self) -> FinalReply:
+        worker = self.worker
+        return FinalReply(
+            worker_id=self.worker_id,
+            stats=worker.stats,
+            paths_completed=worker.paths_completed,
+            covered_lines=set(worker.executor.covered_lines),
+            bugs=list(worker.bugs),
+            test_cases=list(worker.test_cases),
+            cache_counters=worker.executor.solver.cache_counters(),
+        )
+
+
+def worker_main(worker_id: int, spec_name: str, spec_params: dict,
+                strategy: Optional[str], spec_modules: Sequence[str],
+                command_queue, reply_queue) -> None:
+    """Process entry point: rebuild the test from its spec and serve commands.
+
+    Any exception -- during startup or while handling a command -- is shipped
+    back as an :class:`~repro.distrib.messages.ErrorReply` so the coordinator
+    can fail the run with the worker's traceback instead of hanging.
+    """
+    try:
+        for module_name in spec_modules:
+            importlib.import_module(module_name)
+        from repro.distrib import specs
+        test = specs.resolve_test(spec_name, **dict(spec_params))
+        distrib_worker = DistribWorker(worker_id, test, strategy=strategy)
+        reply_queue.put(ReadyReply(worker_id=worker_id,
+                                   line_count=distrib_worker.line_count))
+    except BaseException:
+        reply_queue.put(ErrorReply(worker_id=worker_id,
+                                   details=traceback.format_exc()))
+        return
+    while True:
+        command = command_queue.get()
+        if isinstance(command, StopCommand):
+            break
+        try:
+            reply_queue.put(distrib_worker.handle(command))
+        except BaseException:
+            reply_queue.put(ErrorReply(worker_id=worker_id,
+                                       details=traceback.format_exc()))
+            break

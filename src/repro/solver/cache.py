@@ -42,6 +42,30 @@ class CacheStats:
         return self.hits / self.lookups if self.lookups else 0.0
 
 
+def aggregate_cache_counters(counters: Iterable[Dict[str, int]]) -> Dict[str, float]:
+    """Sum per-solver cache counters and derive overall hit rates.
+
+    Each input dict has the shape of :meth:`repro.solver.solver.Solver.cache_counters`.
+    Workers keep private solvers (and rebuild caches after replay, §6), so
+    cluster-level hit rates must be aggregated from raw hit/miss counts, not
+    averaged from per-worker rates.
+    """
+    total: Dict[str, float] = {
+        "constraint_cache_hits": 0,
+        "constraint_cache_misses": 0,
+        "cex_cache_hits": 0,
+        "cex_cache_misses": 0,
+    }
+    for item in counters:
+        for key in total:
+            total[key] += item.get(key, 0)
+    for prefix in ("constraint_cache", "cex_cache"):
+        lookups = total["%s_hits" % prefix] + total["%s_misses" % prefix]
+        total["%s_hit_rate" % prefix] = (
+            total["%s_hits" % prefix] / lookups if lookups else 0.0)
+    return total
+
+
 class ConstraintCache:
     """Exact-match cache of query -> (is_sat, model)."""
 

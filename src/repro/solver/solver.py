@@ -181,6 +181,16 @@ class Solver:
             "cex_cache_hit_rate": self._cex_cache.stats.hit_rate,
         }
 
+    def cache_counters(self) -> Dict[str, int]:
+        """Raw hit/miss counts, aggregatable across solvers (see
+        :func:`repro.solver.cache.aggregate_cache_counters`)."""
+        return {
+            "constraint_cache_hits": self._cache.stats.hits,
+            "constraint_cache_misses": self._cache.stats.misses,
+            "cex_cache_hits": self._cex_cache.stats.hits,
+            "cex_cache_misses": self._cex_cache.stats.misses,
+        }
+
     # -- internals ----------------------------------------------------------
 
     def _count(self, is_sat: bool) -> None:

@@ -10,6 +10,8 @@ backend through :meth:`SymbolicTest.run`::
     test.run(backend="cluster", workers=8)            # Cloud9 cluster
     test.run(backend="static", workers=8)             # §2 strawman baseline
     test.run(backend="threaded", workers=4)           # OS-thread cluster
+    test.run(backend="process", workers=4)            # worker processes
+                                                      # (spec-built tests)
 
 The per-backend ``run_single``/``run_cluster``/``run_static_cluster``
 methods remain as thin shims returning the legacy result types.
@@ -57,6 +59,12 @@ class SymbolicTest:
     use_posix_model:
         Install the POSIX environment model (on by default; pure
         computational targets may turn it off for speed).
+    spec_name / spec_params:
+        Set by :func:`repro.distrib.specs.resolve_test`: the registered
+        test-spec this instance was built from.  Live tests hold closures and
+        compiled programs that do not pickle, so process-based backends ship
+        ``(spec_name, spec_params)`` and rebuild the test in each worker
+        process instead.
     """
 
     name: str
@@ -66,6 +74,8 @@ class SymbolicTest:
     engine_config: EngineConfig = field(default_factory=EngineConfig)
     use_posix_model: bool = True
     strategy: str = "interleaved"
+    spec_name: Optional[str] = None
+    spec_params: Dict[str, object] = field(default_factory=dict)
 
     def __post_init__(self) -> None:
         if not isinstance(self.program, CompiledProgram):
@@ -199,4 +209,8 @@ class SymbolicTest:
             engine_config=self.engine_config.copy(),
             use_posix_model=self.use_posix_model,
             strategy=self.strategy,
+            # Extra options are applied locally only; a worker process
+            # rebuilding from the spec would not see them, so drop the ref.
+            spec_name=None,
+            spec_params={},
         )

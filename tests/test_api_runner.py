@@ -203,6 +203,12 @@ class TestRunResultAdapters:
         assert result.worker_stats is None
         assert result.states_transferred is None
         assert result.rounds_to_coverage(10.0) is None
+        # ... but solver-cache behavior is observable on every backend
+        assert result.transfer_cost is None
+        assert result.transfer_savings_ratio == 0.0
+        assert result.cache_stats is not None
+        assert result.cache_stats["constraint_cache_misses"] > 0
+        assert 0.0 <= result.cache_stats["constraint_cache_hit_rate"] <= 1.0
 
     def test_from_cluster_preserves_every_field(self):
         test = SymbolicTest("t", branchy_program(2))
@@ -233,6 +239,11 @@ class TestRunResultAdapters:
                 == legacy.rounds_to_coverage(1.0))
         # rounds are virtual time, but real elapsed seconds are recorded too
         assert result.wall_time == legacy.wall_time >= 0.0
+        # transfer cost and solver-cache counters are carried over
+        assert result.transfer_cost is legacy.transfer_cost
+        assert result.transfer_cost.jobs >= legacy.total_states_transferred
+        assert result.cache_stats == legacy.cache_stats
+        assert result.cache_stats["constraint_cache_misses"] > 0
 
 
 class TestStrategyPropagation:

@@ -1,0 +1,279 @@
+"""Tests for repro.distrib: spec registry, worker protocol, process cluster."""
+
+import multiprocessing
+
+import pytest
+
+from repro.api import Campaign, ExplorationLimits
+from repro.cluster.jobs import JobTree
+from repro.distrib import DistribWorker, ProcessClusterConfig, specs
+from repro.distrib.cluster import ProcessCloud9Cluster, WorkerProcessError
+from repro.distrib.messages import (
+    ExploreCommand,
+    ExportCommand,
+    FinalizeCommand,
+    ImportCommand,
+    SeedCommand,
+    StatusReply,
+)
+from repro.testing.symbolic_test import SymbolicTest
+
+from conftest import branchy_program
+
+LIMITS = ExplorationLimits(max_rounds=300)
+
+
+def _branchy_spec_test(buffer_size=2):
+    return SymbolicTest(name="branchy-spec",
+                        program=branchy_program(buffer_size),
+                        use_posix_model=False)
+
+
+# Registered at import time: "fork" children inherit it, which is what the
+# process-backend tests below rely on.
+specs.register_spec("test-branchy", _branchy_spec_test, replace=True)
+
+fork_available = "fork" in multiprocessing.get_all_start_methods()
+needs_fork = pytest.mark.skipif(
+    not fork_available,
+    reason="runtime-registered specs reach child processes only under fork")
+
+
+class TestSpecRegistry:
+    def test_builtin_targets_are_registered(self):
+        names = specs.available_specs()
+        for expected in ("printf", "testcmd", "memcached-packets", "ghttpd",
+                         "coreutils-echo", "lighttpd-frag-1.4.13"):
+            assert expected in names
+
+    def test_resolve_test_stamps_spec_reference(self):
+        test = specs.resolve_test("printf", format_length=2)
+        assert test.spec_name == "printf"
+        assert test.spec_params == {"format_length": 2}
+        assert test.name == "printf-symbolic-format"
+
+    def test_unknown_spec_raises_with_suggestions(self):
+        with pytest.raises(ValueError, match="unknown test spec"):
+            specs.resolve_test("no-such-spec")
+
+    def test_duplicate_registration_rejected(self):
+        with pytest.raises(ValueError, match="already registered"):
+            specs.register_spec("test-branchy", _branchy_spec_test)
+
+    def test_with_options_drops_spec_reference(self):
+        test = specs.resolve_test("printf", format_length=2)
+        derived = test.with_options(max_instructions=10)
+        assert derived.spec_name is None
+
+
+class TestDistribWorker:
+    """The worker protocol driven in-process (no forking)."""
+
+    def _worker(self, worker_id=1):
+        return DistribWorker(worker_id, _branchy_spec_test())
+
+    def test_seed_then_explore_to_exhaustion(self):
+        worker = self._worker()
+        status = worker.handle(SeedCommand())
+        assert isinstance(status, StatusReply)
+        assert status.queue_length == 1
+        while status.queue_length:
+            status = worker.handle(ExploreCommand(budget=1000))
+        assert status.paths_completed == 9
+        assert status.useful_instructions > 0
+        assert status.coverage_bits > 0
+
+    def test_export_import_round_trip_completes_the_tree(self):
+        source = self._worker(1)
+        status = source.handle(SeedCommand())
+        while status.queue_length and status.queue_length < 3:
+            status = source.handle(ExploreCommand(budget=5))
+        assert status.queue_length >= 3, "need a frontier to export from"
+        export = source.handle(ExportCommand(count=2))
+        assert export.job_count == 2
+        assert export.encoded_jobs is not None
+        # The payload is the JobTree wire format, decodable stand-alone.
+        assert len(JobTree.decode(export.encoded_jobs)) == 2
+
+        destination = self._worker(2)
+        imported = destination.handle(ImportCommand(encoded_jobs=export.encoded_jobs))
+        assert imported.imported == 2
+
+        for worker in (source, destination):
+            while worker.handle(ExploreCommand(budget=1000)).queue_length:
+                pass
+        src_final = source.handle(FinalizeCommand())
+        dst_final = destination.handle(FinalizeCommand())
+        assert src_final.paths_completed + dst_final.paths_completed == 9
+        assert dst_final.stats.replay_instructions > 0
+        assert dst_final.stats.jobs_imported == 2
+        assert src_final.stats.transfer_encoded_nodes > 0
+        assert src_final.cache_counters["constraint_cache_misses"] > 0
+
+    def test_bogus_job_is_reported_not_fatal(self):
+        """A shipped path that cannot be replayed (divergence) must not kill
+        the worker: the job is dropped, counted, and exploration continues."""
+        worker = self._worker()
+        worker.handle(SeedCommand())
+        # Index 7 can never match a fork of the 2/3-way branchy program.
+        bogus = JobTree.from_jobs([])
+        bogus.insert((7, 7, 7))
+        worker.handle(ImportCommand(encoded_jobs=bogus.encode()))
+        status = worker.status()
+        assert status.queue_length == 2  # root + the virtual bogus node
+        while status.queue_length:
+            status = worker.handle(ExploreCommand(budget=1000))
+        assert status.broken_replays == 1
+        assert status.paths_completed == 9  # the real work still finished
+
+    def test_premature_termination_job_is_reported_not_fatal(self):
+        worker = self._worker()
+        worker.handle(SeedCommand())
+        # Deeper than any real path: replay terminates with forks left over.
+        bogus = JobTree.from_jobs([])
+        bogus.insert((0,) * 40)
+        worker.handle(ImportCommand(encoded_jobs=bogus.encode()))
+        status = worker.status()
+        while status.queue_length:
+            status = worker.handle(ExploreCommand(budget=1000))
+        assert status.broken_replays == 1
+        assert status.paths_completed == 9
+
+
+@needs_fork
+class TestProcessCluster:
+    def test_exhaustive_run_matches_single_engine(self):
+        test = specs.resolve_test("test-branchy")
+        single = test.run(backend="single", limits=LIMITS)
+        assert single.exhausted
+
+        result = test.run(backend="process", workers=2, limits=LIMITS,
+                          instructions_per_round=50)
+        assert result.backend == "process"
+        assert result.exhausted
+        assert result.num_workers == 2
+        assert result.paths_completed == single.paths_completed
+        assert result.covered_lines == single.covered_lines
+        # Per-round timeline and per-worker stats come back across processes.
+        assert result.rounds_executed and result.rounds_executed > 0
+        assert len(result.timeline) == result.rounds_executed
+        assert set(result.worker_stats) == {1, 2}
+        assert result.cache_stats["constraint_cache_misses"] > 0
+
+    def test_four_worker_coverage_at_least_single(self):
+        """Acceptance criterion: 4-worker process coverage >= single-backend
+        coverage under the same ExplorationLimits."""
+        test = specs.resolve_test("printf", format_length=2)
+        single = test.run(backend="single", limits=LIMITS)
+        result = test.run(backend="process", workers=4, limits=LIMITS,
+                          instructions_per_round=300)
+        assert result.coverage_percent >= single.coverage_percent
+        assert result.paths_completed == single.paths_completed
+
+    def test_transfers_use_job_tree_encoding(self):
+        test = specs.resolve_test("printf", format_length=2)
+        result = test.run(backend="process", workers=2, limits=LIMITS,
+                          instructions_per_round=300)
+        assert result.states_transferred > 0
+        cost = result.transfer_cost
+        assert cost.jobs >= result.states_transferred
+        assert 0 < cost.encoded_nodes <= cost.naive_nodes
+        assert 0.0 <= cost.savings_ratio < 1.0
+        # The receiving process replayed the shipped paths.
+        assert result.replay_instructions > 0
+
+    def test_max_rounds_budget_respected(self):
+        test = specs.resolve_test("test-branchy", buffer_size=3)
+        result = test.run(backend="process", workers=2,
+                          limits=ExplorationLimits(max_rounds=2),
+                          instructions_per_round=5)
+        assert result.rounds_executed <= 2
+        assert not result.exhausted
+
+    def test_crashing_spec_surfaces_worker_traceback(self):
+        config = ProcessClusterConfig(num_workers=1, reply_timeout=30.0)
+        cluster = ProcessCloud9Cluster("test-crash", config=config, line_count=1)
+        with pytest.raises(WorkerProcessError, match="boom"):
+            cluster.run(limits=ExplorationLimits(max_rounds=1))
+
+
+def _crashing_spec():
+    raise RuntimeError("boom")
+
+
+specs.register_spec("test-crash", _crashing_spec, replace=True)
+
+
+class TestProcessRunnerValidation:
+    def test_unshippable_test_is_rejected_helpfully(self):
+        test = _branchy_spec_test()
+        assert test.spec_name is None
+        with pytest.raises(ValueError, match="resolve_test"):
+            test.run(backend="process", workers=2)
+
+    def test_explicit_spec_option_overrides(self):
+        test = _branchy_spec_test()
+        if not fork_available:
+            pytest.skip("needs fork for runtime-registered specs")
+        result = test.run(backend="process", workers=2, spec="test-branchy",
+                          limits=LIMITS, instructions_per_round=50)
+        assert result.exhausted
+        assert result.paths_completed == 9
+
+    def test_unknown_spec_fails_in_parent(self):
+        test = _branchy_spec_test()
+        with pytest.raises(ValueError, match="unknown test spec"):
+            test.run(backend="process", workers=2, spec="no-such-spec")
+
+    @needs_fork
+    def test_spec_override_may_build_a_different_program(self):
+        """Regression: an explicit spec= whose program differs from the local
+        test's must resolve its own line count, not inherit the local one."""
+        test = _branchy_spec_test()  # a different (much smaller) program
+        result = test.run(backend="process", workers=2, spec="printf",
+                          spec_params={"format_length": 2},
+                          limits=LIMITS, instructions_per_round=300)
+        assert result.exhausted
+        assert result.paths_completed == 30  # printf's tree, not branchy's
+        assert result.line_count > test.program.line_count
+
+
+@needs_fork
+class TestCampaignFanOut:
+    def test_grid_fans_out_across_processes(self):
+        test = specs.resolve_test("test-branchy")
+        campaign = Campaign("fan-out", limits=LIMITS)
+        campaign.add_grid(test, [
+            {"backend": "single", "label": "single"},
+            {"backend": "cluster", "workers": 2, "label": "cluster",
+             "instructions_per_round": 50},
+        ])
+        entries = list(campaign)
+        assert all(entry.shippable for entry in entries)
+        outcome = campaign.run(processes=2)
+        assert set(outcome.results) == {"single", "cluster"}
+        paths = {label: r.paths_completed for label, r in outcome.results.items()}
+        assert paths["single"] == paths["cluster"] == 9
+        assert outcome.combined_coverage_percent(test.name) > 0
+
+    def test_unshippable_entries_run_locally(self):
+        campaign = Campaign("mixed", limits=LIMITS)
+        campaign.add(_branchy_spec_test(), backend="single", label="local")
+        assert not campaign.entries[0].shippable
+        outcome = campaign.run(processes=2)
+        assert outcome.results["local"].paths_completed == 9
+
+    def test_pool_honors_mutated_test_fields(self):
+        """Regression: picklable tweaks made after resolve_test (here the
+        per-path instruction cap) must reach the pool worker, not be silently
+        reset to the spec factory's defaults."""
+        test = specs.resolve_test("test-branchy")
+        test.engine_config.max_instructions_per_path = 5
+        campaign = Campaign("mutated", limits=LIMITS)
+        campaign.add(test, backend="single", label="capped")
+        outcome = campaign.run(processes=2)
+        # branchy(2) normally completes 9 clean paths; the 5-instruction cap
+        # trips the infinite-loop detector instead.
+        result = outcome.results["capped"]
+        assert result.paths_completed < 9
+        assert result.found_bug
