@@ -14,7 +14,7 @@ Environment knob: set ``REPRO_BENCH_SCALE=full`` to run the larger variants
 from __future__ import annotations
 
 import os
-from typing import Dict, List, Sequence
+from typing import List, Sequence
 
 import pytest
 

@@ -56,8 +56,11 @@ class RunResult:
     #: Wire cost of path-encoded job transfers (None for single-engine runs,
     #: which never transfer; zeroed for clusters that happened not to).
     transfer_cost: Optional[TransferCost] = None
-    #: Aggregated solver-cache hit/miss counters and hit rates (§6: replay
-    #: rebuilds the relevant cache entries at the destination worker).
+    #: Aggregated solver counters and hit rates (§6: replay rebuilds the
+    #: relevant cache entries at the destination worker): constraint/cex
+    #: cache hits and misses plus the independence-layer counters
+    #: (``independence_groups``, ``groups_solved``, ``independence_hits``,
+    #: ``unknown_cache_hits``) summed across every worker's solver.
     cache_stats: Optional[Dict[str, float]] = None
     #: The legacy result object this facade was adapted from.
     raw: object = None
@@ -85,6 +88,13 @@ class RunResult:
         if not self.num_workers:
             return 0.0
         return self.useful_instructions / self.num_workers
+
+    @property
+    def independence_hit_rate(self) -> float:
+        """Fraction of independent constraint groups answered without a
+        fresh search (cache or recent-model reuse), across all workers;
+        0.0 when independence partitioning was disabled."""
+        return (self.cache_stats or {}).get("independence_hit_rate", 0.0)
 
     @property
     def found_bug(self) -> bool:

@@ -19,7 +19,7 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, List, Tuple
 
 from repro.cluster.overlay import CoverageOverlay
 
@@ -152,6 +152,12 @@ class LoadBalancer:
                                       job_count=count)
             commands.append(command)
             self.transfer_log.append((round_index, command))
+            # Account the in-flight transfer against the cached reports so a
+            # second balance() call before fresh status updates arrive does
+            # not re-issue the same transfer (the next receive_status for
+            # each worker overwrites these estimates with ground truth).
+            self.reports[source].queue_length -= count
+            self.reports[destination].queue_length += count
         return commands
 
     # -- introspection -----------------------------------------------------------------

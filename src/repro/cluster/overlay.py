@@ -12,7 +12,7 @@ ORs this global bit vector into its own."
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, Set
+from typing import Iterable, Set
 
 from repro.engine.coverage import CoverageBitVector
 

@@ -32,6 +32,11 @@ class WorkerStats:
     transfers: int = 0
     transfer_encoded_nodes: int = 0
     transfer_naive_nodes: int = 0
+    # Solver work spent inside path replay (§6: the destination worker
+    # rebuilds the relevant constraint-cache entries as a side effect of
+    # replay, so replay queries seed later cache/independence hits).
+    replay_solver_queries: int = 0
+    replay_cache_hits: int = 0
 
     @property
     def total_instructions(self) -> int:

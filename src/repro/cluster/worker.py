@@ -17,7 +17,7 @@ exploration frontier.  A worker:
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable, Dict, List, Optional, Sequence, Set, Tuple
+from typing import Callable, Dict, List, Optional, Set, Tuple
 
 from repro.cluster.jobs import Job, JobTree
 from repro.cluster.replay import replay_path
@@ -165,6 +165,7 @@ class Worker:
         tests_before = len(self.executor.test_cases)
         paths_before = self.executor.paths_completed
         instructions_before = self.executor.total_instructions
+        solver_before = self.executor.solver.stats.snapshot()
 
         outcome = replay_path(self.executor, self.state_factory, path)
 
@@ -176,6 +177,9 @@ class Worker:
         self.executor.paths_completed = paths_before
         replayed = self.executor.total_instructions - instructions_before
         self.stats.replay_instructions += replayed
+        solver_delta = self.executor.solver.stats.delta_since(solver_before)
+        self.stats.replay_solver_queries += solver_delta["queries"]
+        self.stats.replay_cache_hits += solver_delta["cache_hits"]
 
         if not outcome.succeeded:
             self.stats.broken_replays += 1

@@ -16,7 +16,7 @@ from __future__ import annotations
 
 import time
 from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Optional, Sequence, Set, Tuple, Union
+from typing import Callable, Dict, List, Optional, Sequence, Set, Union
 
 from repro.engine.config import EngineConfig
 from repro.engine.coverage import CoverageBitVector
@@ -25,11 +25,11 @@ from repro.engine.interpreter import Interpreter
 from repro.engine.limits import ExplorationLimits, effective_limits
 from repro.engine.natives import NativeRegistry
 from repro.engine.scheduler import CooperativeScheduler
-from repro.engine.state import ExecutionState, StateStatus, ThreadStatus
+from repro.engine.state import ExecutionState, ThreadStatus
 from repro.engine.strategies import SearchStrategy, make_strategy
 from repro.engine.syscalls import default_registry
 from repro.engine.test_case import TestCase, generate_test_case
-from repro.engine.tree import ExecutionTree, NodeLife, NodeStatus, TreeNode
+from repro.engine.tree import ExecutionTree, NodeStatus, TreeNode
 from repro.lang.ast import Program
 from repro.lang.compiler import CompiledProgram, compile_program
 from repro.solver.solver import Solver
@@ -73,6 +73,9 @@ class ExplorationResult:
     steps: int = 0
     wall_time: float = 0.0
     exhausted: bool = False
+    #: Solver-counter increments over this run (queries, search steps,
+    #: independence groups/hits, ... -- see SolverStats.snapshot()).
+    solver_stats: Dict[str, int] = field(default_factory=dict)
 
     @property
     def coverage_percent(self) -> float:
@@ -286,6 +289,7 @@ class SymbolicExecutor:
         instructions_at_start = self.total_instructions
         paths_at_start = self.paths_completed
         bugs_at_start = len(self.bugs)
+        solver_stats_at_start = self.solver.stats.snapshot()
 
         while candidates:
             if max_steps is not None and result.steps >= max_steps:
@@ -317,6 +321,7 @@ class SymbolicExecutor:
         result.instructions_executed = self.total_instructions - instructions_at_start
         result.states_remaining = len(candidates)
         result.wall_time = time.monotonic() - start
+        result.solver_stats = self.solver.stats.delta_since(solver_stats_at_start)
         return result
 
     def _apply_step_to_tree(self, tree: ExecutionTree, node: TreeNode,

@@ -11,7 +11,7 @@ other workers.
 
 from __future__ import annotations
 
-from typing import Callable, List, Optional, Sequence, Tuple
+from typing import List, Optional, Tuple
 
 from repro.engine.config import EngineConfig
 from repro.engine.errors import BugKind, BugReport
@@ -28,7 +28,6 @@ from repro.engine.natives import (
 from repro.engine.state import (
     ExecutionState,
     Frame,
-    StateStatus,
     Thread,
     ThreadStatus,
 )

@@ -17,7 +17,7 @@ another worker reconstructs identical addresses.
 from __future__ import annotations
 
 import itertools
-from dataclasses import dataclass, field
+from dataclasses import field
 from typing import Dict, Iterable, List, Optional, Tuple, Union
 
 from repro.solver.expr import Expr

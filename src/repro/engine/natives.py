@@ -22,11 +22,11 @@ A native handler is a Python callable ``handler(ctx)`` receiving a
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Optional, Sequence, Tuple, Union
+from typing import Callable, Dict, List, Optional, Sequence, Union
 
 from repro.engine.errors import BugKind
-from repro.engine.memory import MemoryError_, MemoryObject
-from repro.engine.state import ExecutionState, Frame, Process, Thread
+from repro.engine.memory import MemoryObject
+from repro.engine.state import ExecutionState, Process, Thread
 from repro.engine.values import Value, is_concrete, to_expr
 from repro.solver.expr import Expr
 from repro.solver.solver import Solver

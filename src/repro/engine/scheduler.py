@@ -14,7 +14,7 @@ If no thread can be scheduled when the current thread goes to sleep, a hang
 
 from __future__ import annotations
 
-from typing import List, Optional, Tuple
+from typing import List, Tuple
 
 from repro.engine.errors import BugKind, BugReport
 from repro.engine.state import ExecutionState, Thread, ThreadStatus

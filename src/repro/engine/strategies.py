@@ -13,7 +13,7 @@ is fed to :class:`CoverageOptimizedStrategy` via :meth:`merge_global_coverage`.
 from __future__ import annotations
 
 import random
-from typing import Dict, Iterable, List, Optional, Sequence, Set
+from typing import Dict, Iterable, Sequence, Set
 
 from repro.engine.tree import ExecutionTree, TreeNode
 

@@ -23,7 +23,6 @@ from repro.engine.natives import (
     ExitState,
     NativeBug,
     NativeContext,
-    NativeHandler,
     NativeRegistry,
 )
 from repro.engine.state import Frame, Thread, ThreadStatus

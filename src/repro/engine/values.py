@@ -10,7 +10,7 @@ expressions small is what keeps the solver fast.
 
 from __future__ import annotations
 
-from typing import Tuple, Union
+from typing import Union
 
 from repro.lang.ast import BinaryOp, UnaryOp
 from repro.solver import expr as E

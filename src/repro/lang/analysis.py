@@ -9,7 +9,7 @@ from __future__ import annotations
 from typing import Dict, List, Set
 
 from repro.lang.ast import CallExpr, BinExpr, Expr, Index, UnExpr
-from repro.lang.compiler import CompiledProgram, Instruction, Opcode
+from repro.lang.compiler import CompiledProgram, Opcode
 
 
 def program_line_count(compiled: CompiledProgram) -> int:

@@ -17,7 +17,7 @@ symbolic files, concrete files and UDP datagrams.
 
 from __future__ import annotations
 
-from typing import List, Optional, Sequence, Union
+from typing import Optional, Sequence, Union
 
 from repro.engine.natives import NativeContext
 from repro.engine.scheduler import (

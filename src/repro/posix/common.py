@@ -7,7 +7,7 @@ from typing import List, Optional, Sequence, Union
 from repro.engine.natives import NativeContext
 from repro.engine.state import ExecutionState
 from repro.posix.buffers import Cell, StreamBuffer
-from repro.posix.data import FileDescriptor, PosixState, posix_of
+from repro.posix.data import FileDescriptor, posix_of
 
 # POSIX-style error return value in the 32-bit unsigned world of the engine.
 ERR = 0xFFFFFFFF

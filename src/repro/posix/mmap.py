@@ -20,7 +20,7 @@ from __future__ import annotations
 from typing import List, Optional
 
 from repro.engine.natives import NativeContext
-from repro.posix.common import ERR, current_pid, lookup_fd
+from repro.posix.common import ERR, lookup_fd
 from repro.posix.data import FdKind, MemoryMapping, posix_of
 
 PROT_NONE = 0x0

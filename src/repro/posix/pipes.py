@@ -4,7 +4,7 @@ from __future__ import annotations
 
 from repro.engine.natives import NativeContext
 from repro.posix.buffers import StreamBuffer
-from repro.posix.common import ERR, copy_cells_to_memory, current_pid
+from repro.posix.common import copy_cells_to_memory, current_pid
 from repro.posix.data import FdKind, FileDescriptor, StreamEndpoint, posix_of
 
 

@@ -13,7 +13,7 @@ datagram queue each, addressed by port number.
 
 from __future__ import annotations
 
-from typing import Optional, Tuple
+from typing import Tuple
 
 from repro.engine.natives import Block, NativeContext
 from repro.posix.buffers import StreamBuffer

@@ -15,7 +15,7 @@ from __future__ import annotations
 from typing import Optional, Tuple
 
 from repro.engine.errors import BugKind
-from repro.engine.natives import Block, NativeBug, NativeContext
+from repro.engine.natives import Block, NativeContext
 from repro.engine.state import ThreadStatus
 from repro.engine.syscalls import cloud9_thread_create, cloud9_thread_terminate
 from repro.posix.common import ERR

@@ -60,7 +60,8 @@ from repro.solver.expr import (
 )
 from repro.solver.model import Model
 from repro.solver.simplify import simplify
-from repro.solver.solver import Solver, SolverResult, SolverStats
+from repro.solver.independence import partition
+from repro.solver.solver import Solver, SolverConfig, SolverResult, SolverStats
 from repro.solver.cache import ConstraintCache, CounterexampleCache
 
 __all__ = [
@@ -106,7 +107,9 @@ __all__ = [
     "ite",
     "Model",
     "simplify",
+    "partition",
     "Solver",
+    "SolverConfig",
     "SolverResult",
     "SolverStats",
     "ConstraintCache",

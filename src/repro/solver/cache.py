@@ -14,7 +14,7 @@ of the cache as a side effect of path replay.  We reproduce both caches:
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, FrozenSet, Iterable, Optional, Tuple
+from typing import Dict, FrozenSet, Iterable, List, Optional, Tuple
 
 from repro.solver.expr import Expr
 from repro.solver.model import Model
@@ -48,7 +48,8 @@ def aggregate_cache_counters(counters: Iterable[Dict[str, int]]) -> Dict[str, fl
     Each input dict has the shape of :meth:`repro.solver.solver.Solver.cache_counters`.
     Workers keep private solvers (and rebuild caches after replay, §6), so
     cluster-level hit rates must be aggregated from raw hit/miss counts, not
-    averaged from per-worker rates.
+    averaged from per-worker rates.  Every counter key present in any input
+    is summed, so the independence/solver counters aggregate the same way.
     """
     total: Dict[str, float] = {
         "constraint_cache_hits": 0,
@@ -57,12 +58,15 @@ def aggregate_cache_counters(counters: Iterable[Dict[str, int]]) -> Dict[str, fl
         "cex_cache_misses": 0,
     }
     for item in counters:
-        for key in total:
-            total[key] += item.get(key, 0)
+        for key, value in item.items():
+            total[key] = total.get(key, 0) + value
     for prefix in ("constraint_cache", "cex_cache"):
         lookups = total["%s_hits" % prefix] + total["%s_misses" % prefix]
         total["%s_hit_rate" % prefix] = (
             total["%s_hits" % prefix] / lookups if lookups else 0.0)
+    groups = total.get("independence_groups", 0)
+    total["independence_hit_rate"] = (
+        total.get("independence_hits", 0) / groups if groups else 0.0)
     return total
 
 

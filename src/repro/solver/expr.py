@@ -10,7 +10,7 @@ shifts, concatenation/extraction, comparisons and boolean connectives.
 from __future__ import annotations
 
 import enum
-from typing import Iterable, Optional, Sequence, Tuple
+from typing import Optional, Sequence, Tuple
 
 
 class Op(enum.Enum):

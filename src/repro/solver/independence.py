@@ -1,0 +1,83 @@
+"""Constraint independence partitioning (KLEE's IndependentSolver, §6).
+
+Path constraints routinely mix unrelated facts: bytes of one packet, the
+length of an unrelated header, a loop counter.  Two constraints *interact*
+only when they share a free symbol (directly or transitively), so every
+query splits into connected components of the constraint/symbol graph --
+*independent groups* that can be solved, cached and reused separately.
+
+This is the enabler for incremental solving: a forked state's query is
+"previous path constraint + one new branch condition", which partitions into
+the same groups as before except for the single group touching the new
+branch's symbols.  Every unchanged group is an exact cache hit; only the
+changed group is re-solved, over a strictly smaller symbol set than the
+whole query.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence
+
+from repro.solver.expr import Expr
+
+__all__ = ["partition"]
+
+
+class _UnionFind:
+    """Union-find over symbol expressions (path compression + size union)."""
+
+    def __init__(self) -> None:
+        self._parent: Dict[Expr, Expr] = {}
+        self._size: Dict[Expr, int] = {}
+
+    def find(self, item: Expr) -> Expr:
+        parent = self._parent.setdefault(item, item)
+        if parent is item:
+            self._size.setdefault(item, 1)
+            return item
+        root = item
+        while self._parent[root] is not root:
+            root = self._parent[root]
+        while self._parent[item] is not root:
+            self._parent[item], item = root, self._parent[item]
+        return root
+
+    def union(self, a: Expr, b: Expr) -> None:
+        root_a, root_b = self.find(a), self.find(b)
+        if root_a is root_b:
+            return
+        if self._size[root_a] < self._size[root_b]:
+            root_a, root_b = root_b, root_a
+        self._parent[root_b] = root_a
+        self._size[root_a] += self._size[root_b]
+
+
+def partition(constraints: Sequence[Expr]) -> List[List[Expr]]:
+    """Split ``constraints`` into independent groups.
+
+    Two constraints land in the same group iff they are connected through
+    shared symbols.  The result is deterministic: groups are ordered by the
+    first constraint that introduced them, and constraints keep their query
+    order within each group.  Constraints without any symbol (fully constant
+    after simplification) each form their own singleton group.
+    """
+    uf = _UnionFind()
+    constraint_symbols: List[List[Expr]] = []
+    for constraint in constraints:
+        symbols = sorted(constraint.symbols(),
+                         key=lambda s: (s.name or "", s.width))
+        constraint_symbols.append(symbols)
+        for other in symbols[1:]:
+            uf.union(symbols[0], other)
+
+    groups: Dict[object, List[Expr]] = {}
+    order: List[object] = []
+    for index, (constraint, symbols) in enumerate(
+            zip(constraints, constraint_symbols)):
+        # Symbol-free constraints get a unique key so they stay singletons.
+        key: object = uf.find(symbols[0]) if symbols else ("const", index)
+        if key not in groups:
+            groups[key] = []
+            order.append(key)
+        groups[key].append(constraint)
+    return [groups[key] for key in order]

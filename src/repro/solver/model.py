@@ -42,5 +42,15 @@ class Model:
         merged.update(other)
         return Model(merged)
 
+    def restricted_to(self, symbols: Iterable[Expr]) -> "Model":
+        """A copy keeping only the assignments of ``symbols``.
+
+        Dropped symbols revert to the implicit don't-care value 0, so the
+        restriction of a satisfying model still satisfies any constraint set
+        mentioning only ``symbols``.
+        """
+        keep = set(symbols)
+        return Model({s: v for s, v in self.assignment.items() if s in keep})
+
     def __len__(self) -> int:
         return len(self.assignment)

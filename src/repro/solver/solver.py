@@ -21,8 +21,9 @@ import enum
 from dataclasses import dataclass, field
 from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
-from repro.solver.cache import ConstraintCache, CounterexampleCache
+from repro.solver.cache import ConstraintCache, CounterexampleCache, QueryKey, query_key
 from repro.solver.expr import Expr, Op, evaluate
+from repro.solver.independence import partition
 from repro.solver.interval import Interval, full_interval, refine_bounds, truth_of
 from repro.solver.model import Model
 from repro.solver.simplify import conjuncts, simplify
@@ -48,6 +49,15 @@ class SolverStats:
     unknown_queries: int = 0
     cache_hits: int = 0
     search_steps: int = 0
+    # Independence layer (KLEE's IndependentSolver): every query is split
+    # into groups of constraints connected by shared symbols, and each group
+    # is resolved separately (see :mod:`repro.solver.independence`).
+    independence_groups: int = 0
+    groups_solved: int = 0
+    independence_hits: int = 0
+    # Memoized budget-exhaustion verdicts (re-testing the same hard fork
+    # must not re-pay the full search budget).
+    unknown_cache_hits: int = 0
 
     def snapshot(self) -> Dict[str, int]:
         return {
@@ -57,7 +67,16 @@ class SolverStats:
             "unknown_queries": self.unknown_queries,
             "cache_hits": self.cache_hits,
             "search_steps": self.search_steps,
+            "independence_groups": self.independence_groups,
+            "groups_solved": self.groups_solved,
+            "independence_hits": self.independence_hits,
+            "unknown_cache_hits": self.unknown_cache_hits,
         }
+
+    def delta_since(self, earlier: Dict[str, int]) -> Dict[str, int]:
+        """Counter increments since an earlier :meth:`snapshot`."""
+        now = self.snapshot()
+        return {key: now[key] - earlier.get(key, 0) for key in now}
 
 
 @dataclass
@@ -66,6 +85,11 @@ class SolverConfig:
     max_candidates_per_symbol: int = 512
     use_constraint_cache: bool = True
     use_counterexample_cache: bool = True
+    #: Partition queries into independent constraint groups and solve/cache
+    #: each group separately (KLEE's IndependentSolver).
+    use_independence: bool = True
+    #: Bound on the memoized-UNKNOWN set (FIFO eviction).
+    unknown_cache_capacity: int = 4096
     propagation_rounds: int = 8
 
 
@@ -82,6 +106,11 @@ class Solver:
         # constraints grow incrementally.
         self._recent_models: List[Model] = []
         self._recent_model_limit = 12
+        # Memoized UNKNOWN verdicts, keyed like the constraint cache (a dict
+        # used as an insertion-ordered set, FIFO-bounded).  A query that
+        # exhausted the step budget once will exhaust it again: retrying on
+        # every re-test of the same fork would pay max_search_steps each time.
+        self._unknown: Dict[QueryKey, None] = {}
 
     # -- public API ---------------------------------------------------------
 
@@ -104,7 +133,15 @@ class Solver:
         return None
 
     def check(self, constraints: Iterable[Expr]) -> Tuple[SolverResult, Optional[Model]]:
-        """Check satisfiability and return ``(result, model_or_None)``."""
+        """Check satisfiability and return ``(result, model_or_None)``.
+
+        The query is split into independent constraint groups (shared-symbol
+        connected components) and each group is resolved separately against
+        the caches, the recent models, and -- only when everything else
+        misses -- a fresh search.  Verdicts combine soundly because groups
+        share no symbols: all-SAT models merge into one model, any UNSAT
+        group refutes the query, and an undecided group leaves it UNKNOWN.
+        """
         self.stats.queries += 1
         simplified: List[Expr] = []
         for c in constraints:
@@ -121,56 +158,158 @@ class Solver:
             self.stats.sat_queries += 1
             return SolverResult.SAT, Model({})
 
-        if self.config.use_constraint_cache:
-            hit = self._cache.lookup(simplified)
-            if hit is not None:
-                self.stats.cache_hits += 1
-                self._count(hit[0])
-                return (SolverResult.SAT if hit[0] else SolverResult.UNSAT), hit[1]
-        if self.config.use_counterexample_cache:
-            hit = self._cex_cache.lookup(simplified)
-            if hit is not None:
-                self.stats.cache_hits += 1
-                self._count(hit[0])
-                self._cache.insert(simplified, hit[0], hit[1])
-                return (SolverResult.SAT if hit[0] else SolverResult.UNSAT), hit[1]
-
-        # Fast path: one of the recently found models may already satisfy the
-        # query (new queries are usually "previous path constraint plus one
-        # more branch condition").
-        for recent in reversed(self._recent_models):
-            if recent.satisfies(simplified):
-                self.stats.cache_hits += 1
-                self.stats.sat_queries += 1
-                if self.config.use_constraint_cache:
-                    self._cache.insert(simplified, True, recent)
-                if self.config.use_counterexample_cache:
-                    self._cex_cache.insert(simplified, True, recent)
-                return SolverResult.SAT, recent
-
-        try:
-            model = self._solve(simplified)
-        except SolverError:
+        if self._unknown and query_key(simplified) in self._unknown:
             self.stats.unknown_queries += 1
+            self.stats.unknown_cache_hits += 1
             return SolverResult.UNKNOWN, None
 
-        is_sat = model is not None
-        self._count(is_sat)
-        if is_sat:
-            self._recent_models.append(model)
-            if len(self._recent_models) > self._recent_model_limit:
-                self._recent_models.pop(0)
+        groups = (partition(simplified) if self.config.use_independence
+                  else [simplified])
+        if self.config.use_independence:
+            self.stats.independence_groups += len(groups)
+
+        # The step budget is per *query*: groups draw from a shared pool so a
+        # pathological query costs max_search_steps total, independent of how
+        # many groups it splits into.
+        budget = [self.config.max_search_steps]
+        merged: Dict[Expr, int] = {}
+        unknown = False
+        memoizable = True
+        for group in groups:
+            budget_before = budget[0]
+            verdict, group_model = self._check_group(group, budget)
+            if verdict is False:
+                self.stats.unsat_queries += 1
+                return SolverResult.UNSAT, None
+            if verdict is None:
+                # Keep scanning the remaining groups: a cheap UNSAT elsewhere
+                # still decides the whole query.
+                unknown = True
+                # An undecided group that entered without the full budget may
+                # have been starved by an earlier group's search; a retry of
+                # the identical query could succeed (the earlier group is a
+                # cache hit by then), so the query must not be memoized.
+                if budget_before < self.config.max_search_steps:
+                    memoizable = False
+                continue
+            if group_model is not None:
+                merged.update(group_model.assignment)
+        if unknown:
+            self.stats.unknown_queries += 1
+            if memoizable:
+                self._remember_unknown(query_key(simplified))
+            return SolverResult.UNKNOWN, None
+
+        model = Model(merged)
+        self.stats.sat_queries += 1
+        if len(groups) > 1:
+            # The combined model frequently satisfies the next query's
+            # groups wholesale ("previous path constraint + one branch").
+            self._remember_model(model)
+        return SolverResult.SAT, model
+
+    def _check_group(self, group: List[Expr],
+                     budget: List[int]) -> Tuple[Optional[bool], Optional[Model]]:
+        """Resolve one independent group: ``(True/False/None, model)``.
+
+        ``None`` means undecided (budget exhausted now or memoized earlier).
+        Group-level re-solving is what makes forked-state queries
+        incremental: the unchanged groups of "previous path constraint + one
+        new branch" all hit the exact cache, and only the group touching the
+        branch's symbols reaches the search.
+
+        Every SAT model cached under or returned for a group key is
+        *restricted to the group's own symbols*: reused models (recent
+        models, counterexample-cache super/subsets) may carry assignments
+        for unrelated symbols, and letting those leak would poison the
+        cross-group merge in :meth:`check` (a stale ``x=5`` riding along in
+        the y-group's model must not overwrite the x-group's fresh ``x=3``).
+        """
+        track = self.config.use_independence
         if self.config.use_constraint_cache:
-            self._cache.insert(simplified, is_sat, model)
+            hit = self._cache.lookup(group)
+            if hit is not None:
+                self.stats.cache_hits += 1
+                if track:
+                    self.stats.independence_hits += 1
+                return hit[0], hit[1]
         if self.config.use_counterexample_cache:
-            self._cex_cache.insert(simplified, is_sat, model)
-        return (SolverResult.SAT if is_sat else SolverResult.UNSAT), model
+            hit = self._cex_cache.lookup(group)
+            if hit is not None:
+                self.stats.cache_hits += 1
+                if track:
+                    self.stats.independence_hits += 1
+                model = (hit[1].restricted_to(self._group_symbols(group))
+                         if hit[1] is not None else None)
+                if self.config.use_constraint_cache:
+                    self._cache.insert(group, hit[0], model)
+                return hit[0], model
+
+        key = query_key(group)
+        if key in self._unknown:
+            self.stats.unknown_cache_hits += 1
+            return None, None
+
+        # Fast path: one of the recently found models may already satisfy
+        # the group (models of supersets solved moments ago usually do).
+        for recent in reversed(self._recent_models):
+            if recent.satisfies(group):
+                self.stats.cache_hits += 1
+                if track:
+                    self.stats.independence_hits += 1
+                model = recent.restricted_to(self._group_symbols(group))
+                if self.config.use_constraint_cache:
+                    self._cache.insert(group, True, model)
+                if self.config.use_counterexample_cache:
+                    self._cex_cache.insert(group, True, model)
+                return True, model
+
+        self.stats.groups_solved += 1
+        budget_at_entry = budget[0]
+        try:
+            model = self._solve(group, budget)
+        except SolverError:
+            # Memoize only when this group saw the full per-query budget: a
+            # group starved by an earlier group's search might be perfectly
+            # solvable on its own, and must not be branded UNKNOWN forever.
+            if budget_at_entry >= self.config.max_search_steps:
+                self._remember_unknown(key)
+            return None, None
+
+        is_sat = model is not None
+        if is_sat:
+            self._remember_model(model)
+        if self.config.use_constraint_cache:
+            self._cache.insert(group, is_sat, model)
+        if self.config.use_counterexample_cache:
+            self._cex_cache.insert(group, is_sat, model)
+        return is_sat, model
+
+    @staticmethod
+    def _group_symbols(group: Sequence[Expr]) -> set:
+        out: set = set()
+        for constraint in group:
+            out.update(constraint.symbols())
+        return out
+
+    def _remember_model(self, model: Model) -> None:
+        self._recent_models.append(model)
+        if len(self._recent_models) > self._recent_model_limit:
+            self._recent_models.pop(0)
+
+    def _remember_unknown(self, key: QueryKey) -> None:
+        if self.config.unknown_cache_capacity <= 0:
+            return
+        while len(self._unknown) >= self.config.unknown_cache_capacity:
+            self._unknown.pop(next(iter(self._unknown)))
+        self._unknown[key] = None
 
     def reset_caches(self) -> None:
         """Drop all cached results (used when simulating job migration)."""
         self._cache.clear()
         self._cex_cache.clear()
         self._recent_models.clear()
+        self._unknown.clear()
 
     @property
     def cache_stats(self) -> Dict[str, float]:
@@ -182,24 +321,27 @@ class Solver:
         }
 
     def cache_counters(self) -> Dict[str, int]:
-        """Raw hit/miss counts, aggregatable across solvers (see
-        :func:`repro.solver.cache.aggregate_cache_counters`)."""
+        """Raw per-solver counters, aggregatable across workers (see
+        :func:`repro.solver.cache.aggregate_cache_counters`): cache hit/miss
+        counts plus the solver/independence counters of :class:`SolverStats`.
+        """
         return {
             "constraint_cache_hits": self._cache.stats.hits,
             "constraint_cache_misses": self._cache.stats.misses,
             "cex_cache_hits": self._cex_cache.stats.hits,
             "cex_cache_misses": self._cex_cache.stats.misses,
+            "solver_queries": self.stats.queries,
+            "solver_search_steps": self.stats.search_steps,
+            "independence_groups": self.stats.independence_groups,
+            "groups_solved": self.stats.groups_solved,
+            "independence_hits": self.stats.independence_hits,
+            "unknown_cache_hits": self.stats.unknown_cache_hits,
         }
 
     # -- internals ----------------------------------------------------------
 
-    def _count(self, is_sat: bool) -> None:
-        if is_sat:
-            self.stats.sat_queries += 1
-        else:
-            self.stats.unsat_queries += 1
-
-    def _solve(self, constraints: Sequence[Expr]) -> Optional[Model]:
+    def _solve(self, constraints: Sequence[Expr],
+               budget: Optional[List[int]] = None) -> Optional[Model]:
         # Cheap syntactic contradiction check: a constraint and its negation
         # in the same set (very common right after a fork re-tests the same
         # condition) is unsatisfiable without any search.
@@ -248,7 +390,8 @@ class Solver:
                 affected[s].append(c)
 
         assignment: Dict[Expr, int] = {}
-        budget = [self.config.max_search_steps]
+        if budget is None:
+            budget = [self.config.max_search_steps]
         if self._search(order, 0, assignment, bounds, constraints,
                         constraint_symbols, affected, constants, budget):
             return Model(dict(assignment))

@@ -20,7 +20,7 @@ travel through stream buffers exactly as in the paper's setup.
 
 from __future__ import annotations
 
-from typing import List, Optional, Sequence
+from typing import List, Sequence
 
 from repro import lang as L
 from repro.engine.config import EngineConfig

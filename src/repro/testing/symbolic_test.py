@@ -20,7 +20,7 @@ methods remain as thin shims returning the legacy result types.
 from __future__ import annotations
 
 from dataclasses import dataclass, field, replace
-from typing import Callable, Dict, List, Optional, Sequence, Type, Union
+from typing import Callable, Dict, Optional, Type, Union
 
 from repro.api.limits import ExplorationLimits, effective_limits
 from repro.api.result import RunResult
@@ -32,6 +32,7 @@ from repro.engine.state import ExecutionState
 from repro.lang.ast import Program
 from repro.lang.compiler import CompiledProgram, compile_program
 from repro.posix.model import install_posix_model
+from repro.solver.solver import Solver, SolverConfig
 
 StateSetup = Callable[[ExecutionState], None]
 
@@ -56,6 +57,11 @@ class SymbolicTest:
         ``fault_injection_all``, ``scheduler_policy``).
     engine_config:
         Engine limits/policies shared by all workers.
+    solver_config:
+        Optional :class:`~repro.solver.solver.SolverConfig` applied to every
+        engine instance the test creates (one private solver per worker).
+        This is how the benchmarks toggle the solver stack -- independence
+        partitioning and the constraint/counterexample caches -- per run.
     use_posix_model:
         Install the POSIX environment model (on by default; pure
         computational targets may turn it off for speed).
@@ -72,6 +78,7 @@ class SymbolicTest:
     setup: Optional[StateSetup] = None
     options: Dict[str, object] = field(default_factory=dict)
     engine_config: EngineConfig = field(default_factory=EngineConfig)
+    solver_config: Optional[SolverConfig] = None
     use_posix_model: bool = True
     strategy: str = "interleaved"
     spec_name: Optional[str] = None
@@ -85,7 +92,10 @@ class SymbolicTest:
 
     def build_executor(self) -> SymbolicExecutor:
         installers = [install_posix_model] if self.use_posix_model else []
+        solver = (Solver(replace(self.solver_config))
+                  if self.solver_config is not None else None)
         return SymbolicExecutor(self.program, config=self.engine_config.copy(),
+                                solver=solver,
                                 environment_installers=installers)
 
     def build_initial_state(self, executor: SymbolicExecutor) -> ExecutionState:
@@ -207,6 +217,8 @@ class SymbolicTest:
             setup=self.setup,
             options=merged,
             engine_config=self.engine_config.copy(),
+            solver_config=(replace(self.solver_config)
+                           if self.solver_config is not None else None),
             use_posix_model=self.use_posix_model,
             strategy=self.strategy,
             # Extra options are applied locally only; a worker process

@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.cluster import Cloud9Cluster, ClusterConfig
+from repro.cluster import ClusterConfig
 from repro.engine import SymbolicExecutor
 from repro.posix import install_posix_model
 from repro.testing import SymbolicTest

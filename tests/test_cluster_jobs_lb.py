@@ -114,6 +114,36 @@ class TestLoadBalancer:
         with pytest.raises(ValueError):
             LoadBalancer(line_count=10, delta=0)
 
+    def test_double_balance_does_not_reissue_transfers(self):
+        # balance() must adjust its cached queue lengths by the issued job
+        # counts: calling it again before fresh status reports arrive used to
+        # re-issue the identical transfer and double-drain the source.
+        lb = self._lb_with_queues({1: 40, 2: 0})
+        first = lb.balance()
+        assert first == [TransferCommand(source=1, destination=2, job_count=20)]
+        assert lb.reports[1].queue_length == 20
+        assert lb.reports[2].queue_length == 20
+        assert lb.balance() == []
+
+    def test_balance_estimates_overwritten_by_fresh_status(self):
+        lb = self._lb_with_queues({1: 40, 2: 0})
+        lb.balance()
+        # The source worker reports again (it gave jobs away but also forked
+        # new states); ground truth replaces the in-flight estimate.
+        lb.receive_status(1, 35, 0, 0)
+        lb.receive_status(2, 0, 0, 0)
+        commands = lb.balance()
+        assert commands == [TransferCommand(source=1, destination=2,
+                                            job_count=17)]
+
+    def test_double_balance_many_workers_conserves_total(self):
+        lb = self._lb_with_queues({1: 90, 2: 0, 3: 45, 4: 0})
+        total_before = lb.total_queue_length()
+        for _ in range(3):
+            lb.balance()
+        assert lb.total_queue_length() == total_before
+        assert all(r.queue_length >= 0 for r in lb.reports.values())
+
     def test_coverage_merging_through_status(self):
         lb = LoadBalancer(line_count=8)
         lb.register_worker(1)

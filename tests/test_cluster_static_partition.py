@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.cluster import StaticPartitionCluster, StaticPartitionConfig
+from repro.cluster import StaticPartitionConfig
 from repro.testing import SymbolicTest
 
 from conftest import branchy_program, single_branch_program

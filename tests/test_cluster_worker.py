@@ -4,7 +4,7 @@ from repro.cluster.jobs import JobTree
 from repro.cluster.replay import replay_path
 from repro.cluster.worker import Worker
 from repro.engine import SymbolicExecutor
-from repro.engine.tree import NodeLife, NodeStatus
+from repro.engine.tree import NodeStatus
 from repro.posix import install_posix_model
 
 from conftest import branchy_program

@@ -1,7 +1,7 @@
 """Unit tests for the single-node exploration driver and its limits."""
 
 from repro import lang as L
-from repro.engine import EngineConfig, SymbolicExecutor
+from repro.engine import SymbolicExecutor
 from repro.engine.strategies import make_strategy
 
 from conftest import branchy_program, make_executor

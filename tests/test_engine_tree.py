@@ -5,7 +5,6 @@ from repro.engine.tree import (
     NodeLife,
     NodePin,
     NodeStatus,
-    TreeNode,
 )
 
 

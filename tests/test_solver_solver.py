@@ -191,6 +191,55 @@ class TestCounterexampleCache:
         cache = CounterexampleCache()
         assert cache.lookup([E.eq(X, E.bv_const(1, 8))]) is None
 
+    def test_capacity_hit_clears_wholesale_including_recent_windows(self):
+        # Eviction is wholesale: reaching capacity drops every entry AND the
+        # recent-window lists used for subset/superset scans.
+        cache = CounterexampleCache(capacity=3, scan_window=8)
+        entries = [[E.eq(X, E.bv_const(i, 8))] for i in range(3)]
+        for i, constraints in enumerate(entries):
+            cache.insert(constraints, True, Model({X: i}))
+        assert len(cache) == 3
+        overflow = [E.eq(Y, E.bv_const(9, 8))]
+        cache.insert(overflow, True, Model({Y: 9}))
+        # Only the overflowing entry survives.
+        assert len(cache) == 1
+        assert cache.lookup(entries[0]) is None
+        assert cache._recent_sat == [frozenset(overflow)]
+        assert cache._recent_unsat == []
+        # Subset reasoning over the dropped entries is gone too: a superset
+        # of a pre-clear UNSAT entry must now miss.
+        unsat_cache = CounterexampleCache(capacity=1, scan_window=8)
+        impossible = [E.ult(X, E.bv_const(0, 8))]
+        unsat_cache.insert(impossible, False, None)
+        unsat_cache.insert([E.eq(Y, E.bv_const(2, 8))], True, Model({Y: 2}))
+        assert unsat_cache.lookup(impossible + [E.eq(Z, E.bv_const(1, 8))]) is None
+
+    def test_sat_insert_without_model_is_dropped(self):
+        # A SAT verdict with no model carries nothing reusable for the
+        # subset/superset reasoning; the insert is silently skipped.
+        cache = CounterexampleCache()
+        constraints = [E.eq(X, E.bv_const(5, 8))]
+        cache.insert(constraints, True, None)
+        assert len(cache) == 0
+        assert cache._recent_sat == []
+        assert cache.lookup(constraints) is None
+
+    def test_hit_and_miss_accounting(self):
+        cache = CounterexampleCache()
+        a = E.eq(X, E.bv_const(5, 8))
+        b = E.ult(X, E.bv_const(10, 8))
+        impossible = E.ult(Y, E.bv_const(0, 8))
+        cache.insert([a], True, Model({X: 5}))
+        cache.insert([impossible], False, None)
+        assert cache.stats.lookups == 0
+        assert cache.lookup([a]) == (True, Model({X: 5}))      # exact SAT
+        assert cache.lookup([a, b]) is not None                # subset model
+        assert cache.lookup([impossible, a]) == (False, None)  # unsat subset
+        assert cache.lookup([b]) is None                       # miss
+        assert cache.stats.hits == 3
+        assert cache.stats.misses == 1
+        assert cache.stats.hit_rate == pytest.approx(0.75)
+
 
 class TestModel:
     def test_evaluate_with_defaults(self):
