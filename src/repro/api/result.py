@@ -62,6 +62,14 @@ class RunResult:
     #: (``independence_groups``, ``groups_solved``, ``independence_hits``,
     #: ``unknown_cache_hits``) summed across every worker's solver.
     cache_stats: Optional[Dict[str, float]] = None
+    #: Fault-tolerance counters (cluster backends; §2.3 failure model):
+    #: workers that died mid-run, frontier jobs requeued to survivors, and
+    #: replacement workers spawned under ``respawn=True``.
+    worker_failures: int = 0
+    jobs_recovered: int = 0
+    respawns: int = 0
+    #: Round index of the checkpoint this run resumed from (None = fresh).
+    resumed_from_round: Optional[int] = None
     #: The legacy result object this facade was adapted from.
     raw: object = None
 
@@ -186,5 +194,9 @@ class RunResult:
             states_transferred=result.total_states_transferred,
             transfer_cost=result.transfer_cost,
             cache_stats=dict(result.cache_stats) if result.cache_stats else None,
+            worker_failures=result.worker_failures,
+            jobs_recovered=result.jobs_recovered,
+            respawns=result.respawns,
+            resumed_from_round=result.resumed_from_round,
             raw=result,
         )

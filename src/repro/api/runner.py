@@ -133,10 +133,12 @@ class ClusterRunner:
 
     def run(self, test: "SymbolicTest",
             limits: Optional[ExplorationLimits] = None,
-            workers: Optional[int] = None, **options: object) -> RunResult:
+            workers: Optional[int] = None,
+            resume_from: Optional[object] = None,
+            **options: object) -> RunResult:
         config = _build_cluster_config(self.config_cls, workers, options)
         cluster = test.build_cluster(config, cluster_class=self.cluster_class)
-        result = cluster.run(limits=limits)
+        result = cluster.run(limits=limits, resume_from=resume_from)
         return RunResult.from_cluster(result, backend=self.name,
                                       test_name=test.name)
 
@@ -159,6 +161,7 @@ class ProcessRunner:
             workers: Optional[int] = None,
             spec: Optional[str] = None,
             spec_params: Optional[Dict[str, object]] = None,
+            resume_from: Optional[object] = None,
             **options: object) -> RunResult:
         # Imported lazily: repro.distrib reaches back into the testing layer
         # (which imports repro.api), so a module-level import would cycle.
@@ -188,7 +191,7 @@ class ProcessRunner:
         cluster = ProcessCloud9Cluster(
             spec, spec_params=spec_params, config=config,
             line_count=line_count)
-        result = cluster.run(limits=limits)
+        result = cluster.run(limits=limits, resume_from=resume_from)
         return RunResult.from_cluster(result, backend=self.name,
                                       test_name=test.name)
 

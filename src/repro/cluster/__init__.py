@@ -21,10 +21,16 @@ execution tree across shared-nothing workers:
   the paper argues against (§2, §8), used by the ablation benchmarks.
 * :mod:`repro.cluster.stats` -- instruction/transfer/coverage timelines used
   by the evaluation harness.
+* :mod:`repro.cluster.ledger` -- the coordinator-side frontier ledger used
+  to recover a dead worker's territory (§2.3 failure model).
+* :mod:`repro.cluster.checkpoint` -- resumable run snapshots (frontier,
+  coverage, counters, strategy seeds) behind ``run(resume_from=...)``.
 """
 
+from repro.cluster.checkpoint import ClusterCheckpoint
 from repro.cluster.coordinator import Cloud9Cluster, ClusterConfig, ClusterResult
 from repro.cluster.jobs import Job, JobTree
+from repro.cluster.ledger import FrontierLedger, RecoveryJob
 from repro.cluster.load_balancer import LoadBalancer, TransferCommand
 from repro.cluster.overlay import CoverageOverlay
 from repro.cluster.static_partition import StaticPartitionCluster, StaticPartitionConfig
@@ -35,8 +41,11 @@ from repro.cluster.worker import Worker
 __all__ = [
     "Cloud9Cluster",
     "ThreadedCloud9Cluster",
+    "ClusterCheckpoint",
     "ClusterConfig",
     "ClusterResult",
+    "FrontierLedger",
+    "RecoveryJob",
     "Job",
     "JobTree",
     "LoadBalancer",

@@ -1,0 +1,108 @@
+"""Cluster checkpoints: enough state to resume a killed run.
+
+A running cluster's durable state is small: the global exploration frontier
+(as path-encoded jobs, the same representation transfers use, §3.2), the
+global coverage bit vector (§3.3), cumulative result counters, and the
+per-worker strategy seeds.  Program states are deliberately excluded -- a
+resumed cluster re-materializes the frontier by replaying the paths, exactly
+as a job transfer would.
+
+Checkpoints serialize to plain JSON so a resumed run needs nothing beyond
+the spec registry (process backend) or the test object (in-process backends)
+to rebuild its programs.  Bug reports and generated test cases from before
+the checkpoint stay in the interrupted run's result object; a resumed run
+re-finds only what lies beyond the checkpointed frontier, while coverage and
+cumulative path counts carry over.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import asdict, dataclass, field
+from typing import Dict, List, Optional, Tuple, Union
+
+__all__ = ["ClusterCheckpoint"]
+
+
+@dataclass
+class ClusterCheckpoint:
+    """A resumable snapshot of one cluster run, taken between rounds."""
+
+    #: Virtual-time round after which the snapshot was taken.
+    round_index: int
+    #: The global exploration frontier: every live worker's candidate paths.
+    frontier_paths: List[Tuple[int, ...]]
+    #: The load balancer's merged coverage bit vector, packed into an int.
+    coverage_bits: int
+    line_count: int
+    #: Cumulative counters at checkpoint time (including any earlier resume).
+    paths_completed: int = 0
+    useful_instructions: int = 0
+    replay_instructions: int = 0
+    #: Per-worker counter snapshots (informational; not restored into workers).
+    worker_stats: Dict[int, Dict[str, int]] = field(default_factory=dict)
+    #: Search-strategy seeds per worker, recorded so an identical cluster can
+    #: be rebuilt (workers deterministically seed by their worker id, so a
+    #: same-shape resume reproduces them; the seeds are not pushed into the
+    #: resumed workers).
+    strategy_seeds: Dict[int, int] = field(default_factory=dict)
+    #: Identity of the test this checkpoint belongs to, when known.
+    spec_name: Optional[str] = None
+    spec_params: Dict[str, object] = field(default_factory=dict)
+    test_name: Optional[str] = None
+    backend: Optional[str] = None
+
+    def __post_init__(self) -> None:
+        self.frontier_paths = [tuple(int(i) for i in path)
+                               for path in self.frontier_paths]
+        self.worker_stats = {int(k): dict(v)
+                             for k, v in self.worker_stats.items()}
+        self.strategy_seeds = {int(k): int(v)
+                               for k, v in self.strategy_seeds.items()}
+
+    # -- serialization -----------------------------------------------------------
+
+    def to_json(self) -> str:
+        payload = asdict(self)
+        payload["frontier_paths"] = [list(p) for p in self.frontier_paths]
+        # JSON keys are strings; __post_init__ re-ints them on load.
+        payload["coverage_bits"] = hex(self.coverage_bits)
+        return json.dumps(payload, indent=2, sort_keys=True)
+
+    @classmethod
+    def from_json(cls, text: str) -> "ClusterCheckpoint":
+        payload = json.loads(text)
+        payload["coverage_bits"] = int(payload["coverage_bits"], 16)
+        return cls(**payload)
+
+    def save(self, path: str) -> None:
+        with open(path, "w") as handle:
+            handle.write(self.to_json())
+            handle.write("\n")
+
+    @classmethod
+    def load(cls, path: str) -> "ClusterCheckpoint":
+        with open(path) as handle:
+            return cls.from_json(handle.read())
+
+    @classmethod
+    def coerce(cls, value: Union["ClusterCheckpoint", str]) -> "ClusterCheckpoint":
+        """Accept either a checkpoint object or a path to a saved one."""
+        if isinstance(value, cls):
+            return value
+        if isinstance(value, str):
+            return cls.load(value)
+        raise TypeError("resume_from must be a ClusterCheckpoint or a path, "
+                        "got %r" % (type(value).__name__,))
+
+    # -- convenience --------------------------------------------------------------
+
+    @property
+    def coverage_percent(self) -> float:
+        if not self.line_count:
+            return 0.0
+        return 100.0 * bin(self.coverage_bits).count("1") / self.line_count
+
+    def covered_lines(self) -> set:
+        return {i for i in range(self.line_count)
+                if self.coverage_bits >> i & 1}

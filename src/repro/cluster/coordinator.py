@@ -16,13 +16,16 @@ An optional thread-backed runner for wall-clock parallelism is provided in
 from __future__ import annotations
 
 import time
-from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Optional, Sequence, Set, Tuple
+from dataclasses import asdict, dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence, Set, Tuple, Union
 
+from repro.cluster.checkpoint import ClusterCheckpoint
+from repro.cluster.jobs import Job, JobTree
 from repro.cluster.load_balancer import LoadBalancer, TransferCommand
 from repro.cluster.stats import ClusterTimeline, RoundSnapshot, TransferCost, WorkerStats
 from repro.cluster.transport import LOAD_BALANCER_ID, Message, MessageKind, Transport
 from repro.cluster.worker import DEFAULT_STRATEGY, Worker
+from repro.engine.coverage import CoverageBitVector
 from repro.engine.errors import BugReport
 from repro.engine.executor import SymbolicExecutor
 from repro.engine.limits import ExplorationLimits, effective_limits
@@ -53,6 +56,12 @@ class ClusterConfig:
     disable_balancing_after_round: Optional[int] = None
     transport_delay_rounds: int = 0
     max_rounds: int = 10_000
+    #: Write a :class:`~repro.cluster.checkpoint.ClusterCheckpoint` every N
+    #: rounds (None = never).  The latest checkpoint is kept on the cluster
+    #: (``last_checkpoint``) and, when ``checkpoint_path`` is set, saved to
+    #: that file so a killed run can resume via ``run(resume_from=...)``.
+    checkpoint_every: Optional[int] = None
+    checkpoint_path: Optional[str] = None
 
     def __post_init__(self) -> None:
         if self.num_workers < 1:
@@ -89,6 +98,16 @@ class ClusterResult:
     transfer_cost: TransferCost = field(default_factory=TransferCost)
     # Aggregated solver-cache hit/miss counters across all worker solvers.
     cache_stats: Dict[str, float] = field(default_factory=dict)
+    # Fault tolerance and elasticity (§2.3: workers may die, join and leave).
+    worker_failures: int = 0
+    jobs_recovered: int = 0
+    respawns: int = 0
+    # Last-known counters of workers that died mid-run (their final results
+    # were lost; survivors re-explored their territory, so these are kept
+    # separate from the totals to avoid double counting).
+    failed_worker_stats: Dict[int, WorkerStats] = field(default_factory=dict)
+    # Round index of the checkpoint this run resumed from (None = fresh run).
+    resumed_from_round: Optional[int] = None
 
     @property
     def useful_instructions_per_worker(self) -> float:
@@ -131,6 +150,20 @@ class Cloud9Cluster:
         self.transport = Transport(self.config.transport_delay_rounds)
         self.workers: List[Worker] = []
         self.load_balancer: Optional[LoadBalancer] = None
+        #: Optional callback invoked at the start of every round as
+        #: ``round_hook(round_index, cluster)`` -- the supported place to
+        #: exercise elastic membership (add/remove workers) mid-run.
+        self.round_hook: Optional[Callable[[int, "Cloud9Cluster"], None]] = None
+        #: Most recent checkpoint written by this run (None until the first).
+        self.last_checkpoint: Optional[ClusterCheckpoint] = None
+        # Workers that left via remove_worker; their results still count.
+        self._departed: List[Worker] = []
+        # Carried-over counters when resuming from a checkpoint.
+        self._base_paths = 0
+        self._base_useful = 0
+        self._base_replay = 0
+        self._base_covered: Set[int] = set()
+        self._resumed_from_round: Optional[int] = None
         self._build()
 
     # -- construction ------------------------------------------------------------------
@@ -154,6 +187,133 @@ class Cloud9Cluster:
         # The first worker to join receives the seed job (§3.1).
         self.workers[0].seed()
 
+    # -- elastic membership (workers join and leave between rounds, §2.3) ---------------
+
+    def _next_worker_id(self) -> int:
+        used = [w.worker_id for w in self.workers]
+        used.extend(w.worker_id for w in self._departed)
+        return max(used, default=0) + 1
+
+    def add_worker(self) -> int:
+        """Join a fresh, empty worker; the load balancer will feed it.
+
+        Returns the new worker id.  Callable between rounds (e.g. from
+        ``round_hook``) or between ``run()`` calls.
+        """
+        worker_id = self._next_worker_id()
+        executor = self.executor_factory()
+        worker = Worker(worker_id, executor, self.state_factory,
+                        strategy_name=self.config.strategy or DEFAULT_STRATEGY)
+        self.workers.append(worker)
+        self.load_balancer.register_worker(worker_id)
+        # A joining worker starts from the merged global coverage (§3.3).
+        bits = self.load_balancer.overlay.global_vector.as_int()
+        if bits:
+            worker.strategy.merge_global_coverage(
+                worker.coverage_view.merge_global(bits))
+        return worker_id
+
+    def remove_worker(self, worker_id: int) -> int:
+        """Retire a worker, handing its whole frontier to the survivors.
+
+        The departed worker's results (paths, bugs, coverage, stats) still
+        count toward the final :class:`ClusterResult`.  Pending transfers
+        addressed to it are cancelled (with the load balancer's queue
+        estimates rolled back) and job trees already on the wire to it are
+        re-routed.  Returns the number of jobs handed over.
+        """
+        worker = next((w for w in self.workers if w.worker_id == worker_id), None)
+        if worker is None:
+            raise ValueError("no live worker with id %d" % worker_id)
+        if len(self.workers) == 1:
+            raise ValueError("cannot remove the last worker")
+        self.workers.remove(worker)
+        self._departed.append(worker)
+        survivors = sorted(self.workers, key=lambda w: w.queue_length)
+
+        handed_over = 0
+        job_tree = worker.export_jobs(worker.queue_length)
+        if len(job_tree):
+            handed_over += survivors[0].import_jobs(job_tree)
+
+        # Messages already addressed to the departed worker.
+        for message in self.transport.drop_messages(
+                lambda m: m.recipient == worker_id):
+            if message.kind == MessageKind.JOB_TRANSFER:
+                handed_over += survivors[0].import_jobs(
+                    JobTree.decode(message.payload["jobs"]))
+            elif message.kind == MessageKind.TRANSFER_REQUEST:
+                self.load_balancer.cancel_transfer(TransferCommand(
+                    source=worker_id,
+                    destination=int(message.payload["destination"]),
+                    job_count=int(message.payload["job_count"])))
+        # Transfer requests at other workers naming it as the destination.
+        for message in self.transport.drop_messages(
+                lambda m: (m.kind == MessageKind.TRANSFER_REQUEST
+                           and int(m.payload["destination"]) == worker_id)):
+            self.load_balancer.cancel_transfer(TransferCommand(
+                source=message.recipient,
+                destination=worker_id,
+                job_count=int(message.payload["job_count"])))
+        self.load_balancer.deregister_worker(worker_id)
+        return handed_over
+
+    # -- checkpoint / resume -------------------------------------------------------------
+
+    def _coverage_bits(self) -> int:
+        bits = self.load_balancer.overlay.global_vector.as_int()
+        line_count = self.load_balancer.overlay.line_count
+        for worker in self.workers + self._departed:
+            bits |= CoverageBitVector.from_lines(
+                line_count, worker.executor.covered_lines).as_int()
+        for line in self._base_covered:
+            if 0 <= line < line_count:
+                bits |= 1 << line
+        return bits
+
+    def _write_checkpoint(self, round_index: int) -> ClusterCheckpoint:
+        frontier: List[Tuple[int, ...]] = []
+        for worker in self.workers:
+            frontier.extend(sorted(worker.frontier_paths()))
+        checkpoint = ClusterCheckpoint(
+            round_index=round_index,
+            frontier_paths=sorted(frontier),
+            coverage_bits=self._coverage_bits(),
+            line_count=self.load_balancer.overlay.line_count,
+            paths_completed=(self._base_paths
+                            + sum(w.paths_completed for w in self.workers)
+                            + sum(w.paths_completed for w in self._departed)),
+            useful_instructions=(self._base_useful + sum(
+                w.stats.useful_instructions
+                for w in self.workers + self._departed)),
+            replay_instructions=(self._base_replay + sum(
+                w.stats.replay_instructions
+                for w in self.workers + self._departed)),
+            worker_stats={w.worker_id: asdict(w.stats) for w in self.workers},
+            strategy_seeds={w.worker_id: w.worker_id for w in self.workers},
+        )
+        if self.config.checkpoint_path:
+            checkpoint.save(self.config.checkpoint_path)
+        self.last_checkpoint = checkpoint
+        return checkpoint
+
+    def _restore(self, checkpoint: Union[ClusterCheckpoint, str]) -> None:
+        checkpoint = ClusterCheckpoint.coerce(checkpoint)
+        for worker in self.workers:
+            worker.unseed()
+        for index, path in enumerate(sorted(checkpoint.frontier_paths)):
+            worker = self.workers[index % len(self.workers)]
+            worker.import_jobs(JobTree.from_jobs([Job(tuple(path))]))
+        self.load_balancer.overlay.merge_from_worker(checkpoint.coverage_bits)
+        for worker in self.workers:
+            worker.strategy.merge_global_coverage(
+                worker.coverage_view.merge_global(checkpoint.coverage_bits))
+        self._base_paths = checkpoint.paths_completed
+        self._base_useful = checkpoint.useful_instructions
+        self._base_replay = checkpoint.replay_instructions
+        self._base_covered = checkpoint.covered_lines()
+        self._resumed_from_round = checkpoint.round_index
+
     # -- helpers -----------------------------------------------------------------------
 
     def _balancing_active(self, round_index: int) -> bool:
@@ -168,8 +328,10 @@ class Cloud9Cluster:
         return sum(w.queue_length for w in self.workers)
 
     def _all_covered_lines(self) -> Set[int]:
-        covered: Set[int] = set()
+        covered: Set[int] = set(self._base_covered)
         for worker in self.workers:
+            covered.update(worker.executor.covered_lines)
+        for worker in self._departed:
             covered.update(worker.executor.covered_lines)
         return covered
 
@@ -191,14 +353,22 @@ class Cloud9Cluster:
             stop_on_first_bug: bool = False,
             max_wall_time: Optional[float] = None,
             max_instructions: Optional[int] = None,
-            limits: Optional[ExplorationLimits] = None) -> ClusterResult:
+            limits: Optional[ExplorationLimits] = None,
+            resume_from: Optional[Union[ClusterCheckpoint, str]] = None
+            ) -> ClusterResult:
         """Run rounds until exhaustion, a goal, or a budget is spent.
 
         Limits may be given as explicit kwargs or bundled in an
         :class:`~repro.engine.limits.ExplorationLimits`; explicit kwargs win.
         ``limits.coverage_target`` maps to ``target_coverage_percent`` and
         ``limits.max_steps`` does not apply to cluster runs.
+
+        ``resume_from`` (a :class:`~repro.cluster.checkpoint.ClusterCheckpoint`
+        or a path to a saved one) restores a checkpointed frontier, coverage
+        and counters instead of starting from the seed job.
         """
+        if resume_from is not None:
+            self._restore(resume_from)
         lim = effective_limits(limits, max_rounds=max_rounds,
                                coverage_target=target_coverage_percent,
                                max_paths=max_paths,
@@ -218,6 +388,8 @@ class Cloud9Cluster:
 
         round_index = 0
         while round_index < limit:
+            if self.round_hook is not None:
+                self.round_hook(round_index, self)
             balancing = self._balancing_active(round_index)
             self.transport.advance_round()
 
@@ -265,8 +437,10 @@ class Cloud9Cluster:
             # 4. Record the round.
             covered = self._all_covered_lines()
             coverage_percent = 100.0 * len(covered) / line_count if line_count else 0.0
-            paths_completed = sum(w.paths_completed for w in self.workers)
-            bugs_found = sum(len(w.bugs) for w in self.workers)
+            paths_completed = (self._base_paths
+                               + sum(w.paths_completed
+                                     for w in self.workers + self._departed))
+            bugs_found = sum(len(w.bugs) for w in self.workers + self._departed)
             result.timeline.record(RoundSnapshot(
                 round_index=round_index,
                 queue_lengths={w.worker_id: w.queue_length for w in self.workers},
@@ -282,6 +456,11 @@ class Cloud9Cluster:
             ))
             result.total_states_transferred += states_transferred
             round_index += 1
+
+            # 4b. Periodic checkpoint (between rounds, after status merge).
+            if (config.checkpoint_every
+                    and round_index % config.checkpoint_every == 0):
+                self._write_checkpoint(round_index)
 
             # 5. Termination checks.
             if target_coverage_percent is not None and coverage_percent >= target_coverage_percent:
@@ -306,26 +485,32 @@ class Cloud9Cluster:
         return self._finalize(result, round_index)
 
     def _finalize(self, result: ClusterResult, rounds: int) -> ClusterResult:
+        members = self.workers + self._departed
+        result.num_workers = len(self.workers)
         result.rounds_executed = rounds
-        result.paths_completed = sum(w.paths_completed for w in self.workers)
-        result.total_useful_instructions = sum(
-            w.stats.useful_instructions for w in self.workers)
-        result.total_replay_instructions = sum(
-            w.stats.replay_instructions for w in self.workers)
+        result.resumed_from_round = self._resumed_from_round
+        result.paths_completed = (self._base_paths
+                                  + sum(w.paths_completed for w in members))
+        result.total_useful_instructions = self._base_useful + sum(
+            w.stats.useful_instructions for w in members)
+        result.total_replay_instructions = self._base_replay + sum(
+            w.stats.replay_instructions for w in members)
         result.covered_lines = self._all_covered_lines()
         result.coverage_percent = (100.0 * len(result.covered_lines) / result.line_count
                                    if result.line_count else 0.0)
         all_bugs: List[BugReport] = []
-        for worker in self.workers:
+        for worker in members:
             all_bugs.extend(worker.bugs)
             result.test_cases.extend(worker.test_cases)
             result.worker_stats[worker.worker_id] = worker.stats
         result.bugs = _dedupe_bugs(all_bugs)
+        result.jobs_recovered = sum(
+            w.stats.jobs_recovered for w in members)
         result.messages_sent = self.transport.messages_sent
         result.transfer_cost = TransferCost.from_worker_stats(
             result.worker_stats.values())
         result.cache_stats = aggregate_cache_counters(
-            w.executor.solver.cache_counters() for w in self.workers)
+            w.executor.solver.cache_counters() for w in members)
         return result
 
     # -- invariants (used by the test suite) -------------------------------------------------

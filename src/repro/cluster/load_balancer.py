@@ -18,7 +18,7 @@ source, a destination and a job count, and the source worker picks the jobs.
 from __future__ import annotations
 
 import math
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, List, Tuple
 
 from repro.cluster.overlay import CoverageOverlay
@@ -65,6 +65,23 @@ class LoadBalancer:
 
     def deregister_worker(self, worker_id: int) -> None:
         self.reports.pop(worker_id, None)
+
+    def cancel_transfer(self, command: TransferCommand) -> None:
+        """Undo the queue-length estimates of a transfer that never happened.
+
+        ``balance()`` debits the source and credits the destination as soon
+        as it issues a command; when the transfer is cancelled (its source or
+        destination departed or died before the jobs moved), the estimates
+        must roll back or the next ``balance()`` call would plan against
+        phantom queue lengths.
+        """
+        source = self.reports.get(command.source)
+        if source is not None:
+            source.queue_length += command.job_count
+        destination = self.reports.get(command.destination)
+        if destination is not None:
+            destination.queue_length = max(
+                0, destination.queue_length - command.job_count)
 
     @property
     def worker_ids(self) -> List[int]:

@@ -61,14 +61,20 @@ class WorkerCoverageView:
         return self.local.as_int()
 
     def merge_global(self, bits: int) -> Set[int]:
-        """OR the LB's merged vector into the local view; return new lines."""
+        """OR the LB's merged vector into the local view; return new lines.
+
+        "New" means new *to this worker*: lines the load balancer learned
+        from other workers that are neither in our local vector nor in any
+        global vector received before.  (An earlier version ORed ``local``
+        into ``global_view`` before comparing counts, so purely local growth
+        was misreported as LB-driven change while the returned line set --
+        computed against ``local`` only -- could simultaneously be empty.)
+        """
         incoming = CoverageBitVector(self.line_count, bits)
-        before = self.global_view.count()
+        known = self.global_view.union(self.local)
+        new_lines = incoming.difference(known).covered_lines()
         self.global_view.or_with(incoming)
-        self.global_view.or_with(self.local)
-        if self.global_view.count() == before:
-            return set()
-        return incoming.difference(self.local).covered_lines()
+        return new_lines
 
     def known_covered(self) -> Set[int]:
         return self.global_view.union(self.local).covered_lines()

@@ -25,6 +25,9 @@ class WorkerStats:
     paths_completed: int = 0
     jobs_imported: int = 0
     jobs_exported: int = 0
+    # Jobs imported as part of a dead worker's frontier recovery (a subset
+    # of ``jobs_imported``; the failure model is described in §2.3).
+    jobs_recovered: int = 0
     replays: int = 0
     broken_replays: int = 0
     schedule_steps: int = 0

@@ -66,6 +66,28 @@ class Transport:
                 still_flying.append((deliver_at, message))
         self._in_flight = still_flying
 
+    def drop_messages(self, predicate) -> List[Message]:
+        """Remove and return every pending message matching ``predicate``.
+
+        Covers delivered mailboxes and in-flight messages alike.  Used when a
+        worker leaves the cluster: transfers addressed to it are cancelled
+        and any job trees already on the wire are re-routed by the caller.
+        """
+        dropped: List[Message] = []
+        for recipient, mailbox in self._mailboxes.items():
+            kept: Deque[Message] = deque()
+            for message in mailbox:
+                (dropped if predicate(message) else kept).append(message)
+            self._mailboxes[recipient] = kept
+        still_flying: List[Tuple[int, Message]] = []
+        for deliver_at, message in self._in_flight:
+            if predicate(message):
+                dropped.append(message)
+            else:
+                still_flying.append((deliver_at, message))
+        self._in_flight = still_flying
+        return dropped
+
     def receive_all(self, recipient: int) -> List[Message]:
         mailbox = self._mailboxes[recipient]
         out = list(mailbox)

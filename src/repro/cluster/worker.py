@@ -16,8 +16,7 @@ exploration frontier.  A worker:
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import Callable, Dict, List, Optional, Set, Tuple
+from typing import Callable, Dict, List, Optional, Sequence, Set, Tuple
 
 from repro.cluster.jobs import Job, JobTree
 from repro.cluster.replay import replay_path
@@ -59,6 +58,11 @@ class Worker:
         self.test_cases: List[TestCase] = []
         self.paths_completed = 0
         self.seeded = False
+        # Recovered territories this worker re-explores (root, fence paths):
+        # inside them, replay must not fence off-path siblings -- they are
+        # ours to explore, not "being explored elsewhere" (§2.3 recovery).
+        self._recovered_regions: List[Tuple[Tuple[int, ...],
+                                            Tuple[Tuple[int, ...], ...]]] = []
 
     # -- frontier bookkeeping ----------------------------------------------------------
 
@@ -90,6 +94,20 @@ class Worker:
         self.tree.root.mark_candidate()
         self._add_candidate(self.tree.root)
         self.seeded = True
+
+    def unseed(self) -> None:
+        """Drop the frontier so checkpointed jobs can be imported instead.
+
+        Used when a cluster resumes from a :class:`~repro.cluster.checkpoint.
+        ClusterCheckpoint`: the worker starts from an empty tree and receives
+        its share of the checkpointed frontier as ordinary job imports.
+        """
+        self.candidates.clear()
+        self.tree = ExecutionTree()
+        self.tree.root.status = NodeStatus.VIRTUAL
+        self.tree.root.mark_dead()
+        self._recovered_regions.clear()
+        self.seeded = False
 
     # -- exploration -------------------------------------------------------------------
 
@@ -145,6 +163,17 @@ class Worker:
             child_node = node.children.get(index)
             if child_node is None:
                 child_node = node.add_child(index)
+            elif child_node.is_fence:
+                # The subtree below this child belongs to another worker --
+                # either a fence installed by replay or one shipped with a
+                # recovered job (a dead worker's ceded subtree).  Leave it.
+                continue
+            elif child_node.is_dead and child_node.is_materialized:
+                # Explored to completion here earlier (its paths are already
+                # counted); reachable again only by re-stepping a revived
+                # ancestor -- a bounced job or a recovered subtree whose
+                # fence-protected part this worker finished meanwhile.
+                continue
             if child_state.is_running:
                 child_node.materialize(child_state)
                 child_node.mark_candidate()
@@ -195,9 +224,20 @@ class Worker:
                 child = interior.add_child(index, status=NodeStatus.VIRTUAL,
                                            life=NodeLife.DEAD)
             interior = child
+            if interior.node_id in self.candidates:
+                # One of our own candidates sits on the replayed path (it
+                # can only happen inside a recovered territory): killing it
+                # would orphan its state; stepping it later covers the same
+                # interior fork anyway.
+                continue
             if not interior.is_dead:
                 interior.mark_dead()
         for fence_path, fence_state in outcome.fence_states:
+            if self._ours_to_explore(fence_path):
+                # The sibling lies inside territory this worker recovered:
+                # it is not "being explored elsewhere" -- re-exploration of
+                # the recovered root will reach it as a normal candidate.
+                continue
             fence_node = self.tree.ensure_path(list(fence_path),
                                                status=NodeStatus.MATERIALIZED,
                                                life=NodeLife.FENCE)
@@ -242,9 +282,24 @@ class Worker:
         self.stats.transfer_naive_nodes += JobTree.naive_size(jobs)
         return job_tree
 
-    def import_jobs(self, job_tree: JobTree) -> int:
-        """Add the leaves of an incoming job tree to the frontier as virtual nodes."""
+    def import_jobs(self, job_tree: JobTree,
+                    fence_paths: Sequence[Sequence[int]] = (),
+                    recovered: bool = False) -> int:
+        """Add the leaves of an incoming job tree to the frontier as virtual nodes.
+
+        Recovered jobs (``recovered=True``, a dead worker's re-queued
+        territory, §2.3) take the dedicated path below: the local tree may
+        hold arbitrary stale bookkeeping inside the recovered subtree --
+        replay-time fence shells for work the *dead* worker was doing, dead
+        interiors from old imports -- which must be re-explored, while the
+        ``fence_paths`` (subtrees live workers own, possibly this very
+        worker) must not be.
+        """
         imported = 0
+        if recovered:
+            for job in job_tree.jobs():
+                imported += self._import_recovered_job(job.path, fence_paths)
+            return imported
         for job in job_tree.jobs():
             node = self.tree.ensure_path(list(job.path),
                                          status=NodeStatus.VIRTUAL,
@@ -253,11 +308,121 @@ class Worker:
                 # The node was already explored here (can only happen if the
                 # same path bounced back); revive it as a candidate.
                 node.mark_candidate()
+            if node.is_materialized and node.state is None:
+                # A shell without a program state (e.g. the root of a
+                # freshly reset tree, or a node killed by mark_dead): force
+                # a replay instead of stepping a missing state.
+                node.status = NodeStatus.VIRTUAL
             if node.node_id not in self.candidates:
                 self._add_candidate(node)
                 imported += 1
                 self.stats.jobs_imported += 1
         return imported
+
+    def _import_recovered_job(self, path: Sequence[int],
+                              fence_paths: Sequence[Sequence[int]]) -> int:
+        """Install one recovered territory root, fencing off live work.
+
+        The local view inside ``subtree(path)`` is *about the dead worker's
+        exploration*, not ours: fence shells recorded while replaying jobs
+        the dead worker once ceded to us, virtual-dead interiors from those
+        imports, and so on.  Everything not protected by a fence path is
+        discarded so the replayed root re-explores it from scratch;
+        fence-path subtrees (live workers' territory -- including our own
+        completed or pending work) are preserved and fenced.
+        """
+        root_path = tuple(path)
+        fences = {tuple(f) for f in fence_paths}
+        self._prune_recovered_regions()
+        self._recovered_regions.append((root_path, tuple(sorted(fences))))
+        node = self.tree.ensure_path(list(root_path),
+                                     status=NodeStatus.VIRTUAL,
+                                     life=NodeLife.CANDIDATE)
+        self._reset_recovered_subtree(node, root_path, fences)
+        for fence in fences:
+            if self.tree.node_at(list(fence)) is None:
+                self.tree.ensure_path(list(fence), status=NodeStatus.VIRTUAL,
+                                      life=NodeLife.FENCE)
+        # The root always replays from scratch: any state it carried (e.g.
+        # an export-time snapshot from when *we* ceded it) describes the
+        # subtree before the dead worker explored it, and replay is the one
+        # mechanism guaranteed to rebuild a consistent frontier from a path.
+        node.state = None
+        node.status = NodeStatus.VIRTUAL
+        if not node.is_candidate:
+            node.mark_candidate()
+        if node.node_id not in self.candidates:
+            self._add_candidate(node)
+            self.stats.jobs_imported += 1
+            self.stats.jobs_recovered += 1
+            return 1
+        return 0
+
+    def _reset_recovered_subtree(self, root: TreeNode, root_path: Tuple[int, ...],
+                                 fences: Set[Tuple[int, ...]]) -> None:
+        # Interior nodes on the way from the root down to a fence survive
+        # (re-exploration steps through them); everything else below the
+        # root is discarded.
+        keep_interior: Set[Tuple[int, ...]] = set()
+        for fence in fences:
+            for depth in range(len(root_path) + 1, len(fence)):
+                keep_interior.add(fence[:depth])
+
+        def walk(node: TreeNode, node_path: Tuple[int, ...]) -> None:
+            for index in list(node.children):
+                child = node.children[index]
+                child_path = node_path + (index,)
+                if child_path in fences:
+                    # Live territory (possibly our own): keep it whole, and
+                    # make sure stepping past it never re-enters -- unless
+                    # it is our own pending candidate, which stays one.
+                    if (child.node_id not in self.candidates
+                            and not child.is_fence):
+                        child.mark_fence()
+                    continue
+                if child_path in keep_interior:
+                    walk(child, child_path)
+                    continue
+                self._discard_subtree(child)
+                del node.children[index]
+                child.parent = None
+
+        walk(root, root_path)
+
+    def _discard_subtree(self, node: TreeNode) -> None:
+        """Drop a stale subtree, keeping candidate bookkeeping consistent."""
+        for stale in node.iter_subtree():
+            self.candidates.pop(stale.node_id, None)
+            if not stale.is_dead:
+                stale.mark_dead()  # fixes ancestor candidate counts, drops state
+
+    def _prune_recovered_regions(self) -> None:
+        """Drop recovered regions whose re-exploration has finished.
+
+        A region stays interesting only while candidates remain inside it
+        (the tree's per-subtree candidate counts make the check O(depth));
+        once drained, normal fence/dead bookkeeping covers it, and keeping
+        it would make ``_ours_to_explore`` scans grow with worker churn.
+        """
+        live = []
+        for root, fences in self._recovered_regions:
+            node = self.tree.node_at(list(root))
+            if node is not None and node.candidate_count > 0:
+                live.append((root, fences))
+        self._recovered_regions[:] = live
+
+    def _ours_to_explore(self, path: Sequence[int]) -> bool:
+        """Whether ``path`` lies inside a recovered territory of this worker
+        (and outside the fence subtrees carved out of it)."""
+        path = tuple(path)
+
+        def within(p, root):
+            return len(p) >= len(root) and p[:len(root)] == root
+
+        for root, fences in self._recovered_regions:
+            if within(path, root) and not any(within(path, f) for f in fences):
+                return True
+        return False
 
     # -- messaging ----------------------------------------------------------------------------
 

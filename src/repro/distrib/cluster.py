@@ -16,6 +16,19 @@ brokers any job transfers synchronously before the next round.  The returned
 :class:`~repro.cluster.coordinator.ClusterResult` has the same timeline,
 worker stats, transfer-cost and cache-stats fields as the in-process
 clusters.
+
+Fault tolerance (§2.3) is the coordinator's job.  Because the seed job and
+every brokered transfer flow through it, the coordinator maintains a
+:class:`~repro.cluster.ledger.FrontierLedger` mapping each worker to the
+execution-tree territory it owns.  When a worker process dies mid-round the
+coordinator marks it dead, re-materializes its territory as path-encoded
+jobs (fencing off subtrees that live workers own), requeues them to the
+survivors, and -- under ``ProcessClusterConfig(respawn=True)`` -- spawns a
+replacement instead of raising.  Workers may also join and leave voluntarily
+between rounds (:meth:`ProcessCloud9Cluster.add_worker` /
+:meth:`~ProcessCloud9Cluster.remove_worker`), and periodic
+:class:`~repro.cluster.checkpoint.ClusterCheckpoint` snapshots let a killed
+run resume (``run(resume_from=...)``) instead of restarting.
 """
 
 from __future__ import annotations
@@ -24,11 +37,14 @@ import multiprocessing
 import queue as queue_module
 import time
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Set, Tuple
+from typing import Callable, Dict, List, Optional, Set, Tuple, Union
 
+from repro.cluster.checkpoint import ClusterCheckpoint
 from repro.cluster.coordinator import ClusterResult, _dedupe_bugs
+from repro.cluster.jobs import Job, JobTree
+from repro.cluster.ledger import FrontierLedger, RecoveryJob
 from repro.cluster.load_balancer import LoadBalancer
-from repro.cluster.stats import RoundSnapshot, TransferCost
+from repro.cluster.stats import RoundSnapshot, TransferCost, WorkerStats
 from repro.distrib.messages import (
     ErrorReply,
     ExploreCommand,
@@ -51,7 +67,17 @@ __all__ = ["ProcessClusterConfig", "ProcessCloud9Cluster", "WorkerProcessError",
 
 
 class WorkerProcessError(RuntimeError):
-    """A worker process crashed or stopped answering."""
+    """A worker process crashed and the run could not (or was configured not
+    to) recover: startup failure, failure budget exhausted, or no survivors."""
+
+
+class _WorkerFailure(Exception):
+    """Internal: one worker process died or reported a crash."""
+
+    def __init__(self, handle: "_WorkerHandle", reason: str):
+        super().__init__(reason)
+        self.handle = handle
+        self.reason = reason
 
 
 def default_start_method() -> str:
@@ -101,6 +127,22 @@ class ProcessClusterConfig:
     #: would on the in-process backends; bound total time with
     #: ``ExplorationLimits.max_wall_time`` instead.
     reply_timeout: float = 30.0
+    #: Total worker failures tolerated before the run raises
+    #: :class:`WorkerProcessError`.  ``None`` (the default) tolerates any
+    #: number as long as at least one worker survives or can be respawned;
+    #: ``0`` restores the old die-on-first-failure behavior.
+    max_worker_failures: Optional[int] = None
+    #: Spawn a replacement process for every dead worker, keeping the
+    #: cluster at its configured size through worker churn.
+    respawn: bool = False
+    #: Seconds granted to a worker at each escalation step of teardown
+    #: (cooperative join, then terminate, then kill).
+    shutdown_timeout: float = 5.0
+    #: Write a :class:`~repro.cluster.checkpoint.ClusterCheckpoint` every N
+    #: rounds (None = never); the latest is kept on ``last_checkpoint`` and,
+    #: when ``checkpoint_path`` is set, saved there for ``resume_from=``.
+    checkpoint_every: Optional[int] = None
+    checkpoint_path: Optional[str] = None
 
     def __post_init__(self) -> None:
         if self.num_workers < 1:
@@ -109,6 +151,10 @@ class ProcessClusterConfig:
             raise ValueError("instructions_per_round must be positive")
         if self.reply_timeout <= 0:
             raise ValueError("reply_timeout must be positive")
+        if self.shutdown_timeout <= 0:
+            raise ValueError("shutdown_timeout must be positive")
+        if self.max_worker_failures is not None and self.max_worker_failures < 0:
+            raise ValueError("max_worker_failures must be non-negative")
 
 
 class _WorkerHandle:
@@ -165,6 +211,26 @@ class ProcessCloud9Cluster:
                                           min_transfer=self.config.min_transfer)
         self.handles: List[_WorkerHandle] = []
         self.messages_sent = 0
+        #: Which execution-tree territory each worker owns (for recovery).
+        self.ledger = FrontierLedger()
+        #: Optional callback invoked at the start of every round as
+        #: ``round_hook(round_index, cluster)`` -- the supported place to
+        #: exercise elastic membership or inject failures mid-run.
+        self.round_hook: Optional[
+            Callable[[int, "ProcessCloud9Cluster"], None]] = None
+        #: Most recent checkpoint written by this run (None until the first).
+        self.last_checkpoint: Optional[ClusterCheckpoint] = None
+        self._next_worker_id = 1
+        self._pending_recovery: List[RecoveryJob] = []
+        self._pending_respawns = 0
+        self._departed_finals: List[FinalReply] = []
+        self._result: Optional[ClusterResult] = None
+        # Carried-over counters when resuming from a checkpoint.
+        self._base_paths = 0
+        self._base_useful = 0
+        self._base_replay = 0
+        self._base_covered: Set[int] = set()
+        self._resumed_from_round: Optional[int] = None
 
     # -- process management ------------------------------------------------------------
 
@@ -172,34 +238,78 @@ class ProcessCloud9Cluster:
         method = self.config.start_method or default_start_method()
         return multiprocessing.get_context(method)
 
-    def _start_workers(self) -> None:
+    def _launch(self) -> _WorkerHandle:
+        """Start one worker process (without waiting for its ReadyReply)."""
         ctx = self._context()
-        for index in range(self.config.num_workers):
-            worker_id = index + 1
-            command_queue = ctx.Queue()
-            reply_queue = ctx.Queue()
-            process = ctx.Process(
-                target=worker_main,
-                args=(worker_id, self.spec_name, self.spec_params,
-                      self.strategy, tuple(self.config.spec_modules),
-                      command_queue, reply_queue),
-                name="cloud9-worker-%d" % worker_id,
-                daemon=True)
-            process.start()
-            self.handles.append(
-                _WorkerHandle(worker_id, process, command_queue, reply_queue))
-            self.load_balancer.register_worker(worker_id)
-        for handle in self.handles:
-            ready = self._receive(handle)
-            if not isinstance(ready, ReadyReply):
+        worker_id = self._next_worker_id
+        self._next_worker_id += 1
+        command_queue = ctx.Queue()
+        reply_queue = ctx.Queue()
+        process = ctx.Process(
+            target=worker_main,
+            args=(worker_id, self.spec_name, self.spec_params,
+                  self.strategy, tuple(self.config.spec_modules),
+                  command_queue, reply_queue),
+            name="cloud9-worker-%d" % worker_id,
+            daemon=True)
+        process.start()
+        return _WorkerHandle(worker_id, process, command_queue, reply_queue)
+
+    def _check_ready(self, handle: _WorkerHandle) -> None:
+        """Wait for the ReadyReply and enroll the worker; _WorkerFailure on death."""
+        ready = self._receive(handle)
+        if not isinstance(ready, ReadyReply):
+            raise WorkerProcessError(
+                "worker %d sent %r instead of ReadyReply"
+                % (handle.worker_id, ready))
+        if ready.line_count != self.line_count:
+            raise WorkerProcessError(
+                "worker %d compiled a program with %d lines, coordinator "
+                "expected %d -- the spec factory is not deterministic"
+                % (handle.worker_id, ready.line_count, self.line_count))
+        self.handles.append(handle)
+        self.load_balancer.register_worker(handle.worker_id)
+        self.ledger.register(handle.worker_id)
+
+    def _start_workers(self) -> None:
+        launched = [self._launch() for _ in range(self.config.num_workers)]
+        for handle in launched:
+            try:
+                self._check_ready(handle)
+            except _WorkerFailure as failure:
+                # Startup failures are configuration errors, not churn.
                 raise WorkerProcessError(
-                    "worker %d sent %r instead of ReadyReply"
-                    % (handle.worker_id, ready))
-            if ready.line_count != self.line_count:
-                raise WorkerProcessError(
-                    "worker %d compiled a program with %d lines, coordinator "
-                    "expected %d -- the spec factory is not deterministic"
-                    % (handle.worker_id, ready.line_count, self.line_count))
+                    "worker %d %s" % (failure.handle.worker_id,
+                                      failure.reason)) from None
+
+    def _spawn_worker(self) -> _WorkerHandle:
+        """Start one worker and wait for it (respawn / elastic join path)."""
+        handle = self._launch()
+        self._check_ready(handle)
+        bits = self.load_balancer.overlay.global_vector.as_int()
+        if bits:
+            handle.pending_coverage_bits = bits
+        return handle
+
+    def _cleanup_handle(self, handle: _WorkerHandle) -> None:
+        """Reap a worker's process and queues (alive, stuck, or dead)."""
+        process = handle.process
+        timeout = self.config.shutdown_timeout
+        process.join(timeout=timeout if process.is_alive() else 1.0)
+        if process.is_alive():  # stuck: escalate terminate -> kill
+            process.terminate()
+            process.join(timeout=timeout)
+        if process.is_alive():
+            process.kill()
+            process.join(timeout=timeout)
+        # Drain and close queues so their feeder threads exit promptly.
+        for q in (handle.command_queue, handle.reply_queue):
+            try:
+                while True:
+                    q.get_nowait()
+            except (queue_module.Empty, OSError, ValueError, EOFError):
+                pass
+            q.close()
 
     def _shutdown_workers(self) -> None:
         for handle in self.handles:
@@ -209,18 +319,7 @@ class ProcessCloud9Cluster:
                 except (OSError, ValueError):  # pragma: no cover - queue torn down
                     pass
         for handle in self.handles:
-            handle.process.join(timeout=5.0)
-            if handle.process.is_alive():  # pragma: no cover - stuck worker
-                handle.process.terminate()
-                handle.process.join(timeout=5.0)
-            # Drain and close queues so their feeder threads exit promptly.
-            for q in (handle.command_queue, handle.reply_queue):
-                try:
-                    while True:
-                        q.get_nowait()
-                except (queue_module.Empty, OSError, ValueError):
-                    pass
-                q.close()
+            self._cleanup_handle(handle)
         self.handles = []
 
     # -- messaging ---------------------------------------------------------------------
@@ -244,14 +343,192 @@ class ProcessCloud9Cluster:
                 if death_deadline is None:
                     death_deadline = time.monotonic() + self.config.reply_timeout
                 if time.monotonic() >= death_deadline:
-                    raise WorkerProcessError(
-                        "worker %d died (exit code %r)"
-                        % (handle.worker_id, handle.process.exitcode)) from None
+                    raise _WorkerFailure(
+                        handle, "died (exit code %r)"
+                        % (handle.process.exitcode,)) from None
                 continue
             if isinstance(reply, ErrorReply):
-                raise WorkerProcessError(
-                    "worker %d failed:\n%s" % (handle.worker_id, reply.details))
+                raise _WorkerFailure(
+                    handle, "failed:\n%s" % reply.details)
             return reply
+
+    # -- fault tolerance ----------------------------------------------------------------
+
+    def _live_ids(self) -> Set[int]:
+        return {h.worker_id for h in self.handles}
+
+    def _handle_failure(self, failure: _WorkerFailure, result: ClusterResult,
+                        requeue: bool = True) -> None:
+        """Mark a worker dead and stage its territory for recovery.
+
+        Raises :class:`WorkerProcessError` when the failure budget is
+        exhausted.  The staged recovery jobs (and the replacement worker,
+        under ``respawn=True``) materialize at the next
+        :meth:`_flush_recovery` call -- a point where no commands are
+        outstanding, so request/reply pairing stays intact.
+        """
+        handle = failure.handle
+        if handle.worker_id not in self._live_ids():
+            return  # already accounted
+        self.handles.remove(handle)
+        result.worker_failures += 1
+        result.failed_worker_stats[handle.worker_id] = WorkerStats(
+            worker_id=handle.worker_id,
+            useful_instructions=handle.useful_instructions,
+            replay_instructions=handle.replay_instructions,
+            paths_completed=handle.paths_completed)
+        self.load_balancer.deregister_worker(handle.worker_id)
+        budget = self.config.max_worker_failures
+        if budget is not None and result.worker_failures > budget:
+            self._cleanup_handle(handle)
+            raise WorkerProcessError(
+                "worker %d %s; failure budget exhausted "
+                "(max_worker_failures=%d)"
+                % (handle.worker_id, failure.reason, budget)) from None
+        if requeue:
+            self._pending_recovery.extend(
+                self.ledger.recovery_jobs(handle.worker_id))
+            if self.config.respawn:
+                self._pending_respawns += 1
+        self.ledger.forget(handle.worker_id)
+        self._cleanup_handle(handle)
+
+    def _flush_recovery(self, result: ClusterResult) -> None:
+        """Respawn replacements and requeue dead workers' territories.
+
+        Only called at protocol barriers (every outstanding command has been
+        answered or its worker declared dead).
+        """
+        while self._pending_respawns or self._pending_recovery:
+            if self._pending_respawns:
+                self._pending_respawns -= 1
+                try:
+                    self._spawn_worker()
+                    result.respawns += 1
+                except _WorkerFailure as failure:
+                    result.worker_failures += 1
+                    budget = self.config.max_worker_failures
+                    if (budget is not None
+                            and result.worker_failures > budget):
+                        raise WorkerProcessError(
+                            "respawned worker %d %s; failure budget "
+                            "exhausted (max_worker_failures=%d)"
+                            % (failure.handle.worker_id, failure.reason,
+                               budget)) from None
+                    self._cleanup_handle(failure.handle)
+                continue
+            if not self.handles:
+                raise WorkerProcessError(
+                    "every worker died and respawn is disabled; "
+                    "%d recovery job(s) have nowhere to go"
+                    % len(self._pending_recovery))
+            job = self._pending_recovery.pop(0)
+            handle = min(self.handles, key=lambda h: h.queue_length)
+            self.ledger.acquire(handle.worker_id, job.root)
+            for fence in job.fences:
+                self.ledger.cede(handle.worker_id, fence)
+            tree = JobTree.from_jobs([Job(job.root)])
+            try:
+                self._send(handle, ImportCommand(
+                    encoded_jobs=tree.encode(),
+                    fence_paths=job.fences,
+                    recovered=True))
+                reply = self._receive(handle)
+            except _WorkerFailure as failure:
+                # The survivor died too; its ledger now includes this job,
+                # so _handle_failure re-stages it (budget permitting).
+                self._handle_failure(failure, result)
+                continue
+            handle.queue_length += reply.imported
+            result.jobs_recovered += 1
+            report = self.load_balancer.reports.get(handle.worker_id)
+            if report is not None:
+                report.queue_length = handle.queue_length
+
+    # -- elastic membership (§2.3: workers join and leave mid-run) -----------------------
+
+    def add_worker(self) -> int:
+        """Join a fresh worker process; the load balancer will feed it.
+
+        Callable between rounds (e.g. from ``round_hook``) while the cluster
+        is running.  Returns the new worker id.
+        """
+        if not self.handles:
+            raise RuntimeError("add_worker() requires a running cluster "
+                               "(call it from round_hook)")
+        try:
+            handle = self._spawn_worker()
+        except _WorkerFailure as failure:
+            # The newcomer died during startup; it owned nothing yet.
+            self._cleanup_handle(failure.handle)
+            raise WorkerProcessError(
+                "worker %d %s while joining"
+                % (failure.handle.worker_id, failure.reason)) from None
+        return handle.worker_id
+
+    def remove_worker(self, worker_id: int) -> int:
+        """Retire a worker process, handing its frontier to the survivors.
+
+        The departed worker's results (paths, bugs, coverage, stats) still
+        count toward the final :class:`ClusterResult`.  Returns the number
+        of jobs handed over.
+        """
+        handle = next((h for h in self.handles if h.worker_id == worker_id),
+                      None)
+        if handle is None:
+            raise ValueError("no live worker with id %d" % worker_id)
+        if len(self.handles) == 1:
+            raise ValueError("cannot remove the last worker")
+        result = self._result
+        try:
+            # Export everything, then collect its final results.
+            self._send(handle, ExportCommand(count=2 ** 30))
+            export = self._receive(handle)
+            self._send(handle, FinalizeCommand())
+            final = self._receive(handle)
+        except _WorkerFailure as failure:
+            # It died while retiring: recover its territory instead.
+            if result is not None:
+                self._handle_failure(failure, result)
+                self._flush_recovery(result)
+            return 0
+        self._departed_finals.append(final)
+        self.handles.remove(handle)
+        self.load_balancer.deregister_worker(worker_id)
+
+        handed_over = 0
+        try:
+            if export.encoded_jobs is not None:
+                target = min(self.handles, key=lambda h: h.queue_length)
+                paths = [job.path for job in
+                         JobTree.decode(export.encoded_jobs).jobs()]
+                for path in paths:
+                    self.ledger.cede(worker_id, path)
+                    # Acquire before the import so a target that dies
+                    # mid-handover is recovered with these jobs included.
+                    self.ledger.acquire(target.worker_id, path)
+                try:
+                    self._send(target, ImportCommand(
+                        encoded_jobs=export.encoded_jobs))
+                    reply = self._receive(target)
+                except _WorkerFailure as failure:
+                    if result is not None:
+                        self._handle_failure(failure, result)
+                        self._flush_recovery(result)
+                else:
+                    target.queue_length += reply.imported
+                    handed_over = reply.imported
+                    report = self.load_balancer.reports.get(target.worker_id)
+                    if report is not None:
+                        report.queue_length = target.queue_length
+        finally:
+            self.ledger.forget(worker_id)
+            try:
+                self._send(handle, StopCommand())
+            except (OSError, ValueError):  # pragma: no cover - queue torn down
+                pass
+            self._cleanup_handle(handle)
+        return handed_over
 
     # -- helpers -----------------------------------------------------------------------
 
@@ -273,6 +550,99 @@ class ProcessCloud9Cluster:
         handle.useful_instructions = status.useful_instructions
         handle.replay_instructions = status.replay_instructions
 
+    # -- checkpoint / resume -------------------------------------------------------------
+
+    def _write_checkpoint(self, round_index: int,
+                          statuses: Dict[int, StatusReply]) -> ClusterCheckpoint:
+        frontier: List[Tuple[int, ...]] = []
+        for status in statuses.values():
+            if status.frontier is None:
+                continue
+            frontier.extend(job.path
+                            for job in JobTree.decode(status.frontier).jobs())
+        departed_paths = sum(f.paths_completed for f in self._departed_finals)
+        departed_useful = sum(f.stats.useful_instructions
+                              for f in self._departed_finals)
+        departed_replay = sum(f.stats.replay_instructions
+                              for f in self._departed_finals)
+        # The overlay lags by up to status_update_interval rounds; fold in
+        # the coverage bits just collected so lines covered on completed
+        # paths (never re-explored on resume) cannot be lost.
+        coverage_bits = self.load_balancer.overlay.global_vector.as_int()
+        for status in statuses.values():
+            coverage_bits |= status.coverage_bits
+        checkpoint = ClusterCheckpoint(
+            round_index=round_index,
+            frontier_paths=sorted(frontier),
+            coverage_bits=coverage_bits,
+            line_count=self.line_count,
+            paths_completed=(self._base_paths + departed_paths
+                             + sum(s.paths_completed
+                                   for s in statuses.values())),
+            useful_instructions=(self._base_useful + departed_useful
+                                 + sum(s.useful_instructions
+                                       for s in statuses.values())),
+            replay_instructions=(self._base_replay + departed_replay
+                                 + sum(s.replay_instructions
+                                       for s in statuses.values())),
+            worker_stats={
+                worker_id: {
+                    "useful_instructions": s.useful_instructions,
+                    "replay_instructions": s.replay_instructions,
+                    "paths_completed": s.paths_completed,
+                    "queue_length": s.queue_length,
+                }
+                for worker_id, s in statuses.items()},
+            strategy_seeds={h.worker_id: h.worker_id for h in self.handles},
+            spec_name=self.spec_name,
+            spec_params=dict(self.spec_params),
+            backend="process",
+        )
+        if self.config.checkpoint_path:
+            checkpoint.save(self.config.checkpoint_path)
+        self.last_checkpoint = checkpoint
+        return checkpoint
+
+    def _restore(self, checkpoint: Union[ClusterCheckpoint, str],
+                 result: ClusterResult) -> None:
+        checkpoint = ClusterCheckpoint.coerce(checkpoint)
+        if checkpoint.line_count != self.line_count:
+            raise WorkerProcessError(
+                "checkpoint was taken against a %d-line program, this "
+                "cluster's spec builds %d lines -- wrong spec?"
+                % (checkpoint.line_count, self.line_count))
+        bits = checkpoint.coverage_bits
+        self.load_balancer.overlay.merge_from_worker(bits)
+        shares: Dict[int, List[Tuple[int, ...]]] = {
+            h.worker_id: [] for h in self.handles}
+        live = list(self.handles)
+        for index, path in enumerate(sorted(checkpoint.frontier_paths)):
+            shares[live[index % len(live)].worker_id].append(tuple(path))
+        for handle in live:
+            share = shares[handle.worker_id]
+            handle.pending_coverage_bits = bits or None
+            if not share:
+                continue
+            for path in share:
+                self.ledger.acquire(handle.worker_id, path)
+            tree = JobTree.from_jobs([Job(p) for p in share])
+            try:
+                self._send(handle, ImportCommand(encoded_jobs=tree.encode()))
+                reply = self._receive(handle)
+            except _WorkerFailure as failure:
+                self._handle_failure(failure, result)
+                self._flush_recovery(result)
+                continue
+            handle.queue_length += reply.imported
+            report = self.load_balancer.reports.get(handle.worker_id)
+            if report is not None:
+                report.queue_length = handle.queue_length
+        self._base_paths = checkpoint.paths_completed
+        self._base_useful = checkpoint.useful_instructions
+        self._base_replay = checkpoint.replay_instructions
+        self._base_covered = checkpoint.covered_lines()
+        self._resumed_from_round = checkpoint.round_index
+
     # -- main loop ---------------------------------------------------------------------
 
     def run(self, max_rounds: Optional[int] = None,
@@ -281,11 +651,16 @@ class ProcessCloud9Cluster:
             stop_on_first_bug: bool = False,
             max_wall_time: Optional[float] = None,
             max_instructions: Optional[int] = None,
-            limits: Optional[ExplorationLimits] = None) -> ClusterResult:
+            limits: Optional[ExplorationLimits] = None,
+            resume_from: Optional[Union[ClusterCheckpoint, str]] = None
+            ) -> ClusterResult:
         """Run rounds until exhaustion, a goal, or a budget is spent.
 
         Accepts the same ``limits`` bundle as
         :meth:`~repro.cluster.coordinator.Cloud9Cluster.run`.
+        ``resume_from`` restores a
+        :class:`~repro.cluster.checkpoint.ClusterCheckpoint` (or a path to a
+        saved one) instead of seeding from the tree root.
         """
         lim = effective_limits(limits, max_rounds=max_rounds,
                                coverage_target=target_coverage_percent,
@@ -294,52 +669,86 @@ class ProcessCloud9Cluster:
                                max_wall_time=max_wall_time,
                                max_instructions=max_instructions)
         try:
-            return self._run(lim)
+            return self._run(lim, resume_from=resume_from)
         finally:
             self._shutdown_workers()
 
-    def _run(self, lim: ExplorationLimits) -> ClusterResult:
+    def _run(self, lim: ExplorationLimits,
+             resume_from: Optional[Union[ClusterCheckpoint, str]] = None
+             ) -> ClusterResult:
         config = self.config
         limit = lim.max_rounds if lim.max_rounds is not None else config.max_rounds
         result = ClusterResult(num_workers=config.num_workers,
                                line_count=self.line_count)
+        self._result = result
         start = time.monotonic()
 
         self._start_workers()
-        # The first worker to join receives the seed job (§3.1).
-        seed_handle = self.handles[0]
-        self._send(seed_handle, SeedCommand())
-        self._apply_status(seed_handle, self._receive(seed_handle))
+        if resume_from is not None:
+            self._restore(resume_from, result)
+        else:
+            # The first worker to join receives the seed job (§3.1).
+            seed_handle = self.handles[0]
+            self.ledger.acquire(seed_handle.worker_id, ())
+            try:
+                self._send(seed_handle, SeedCommand())
+                self._apply_status(seed_handle, self._receive(seed_handle))
+            except _WorkerFailure as failure:
+                self._handle_failure(failure, result)
+                self._flush_recovery(result)
 
         instructions_executed = 0
         round_index = 0
         while round_index < limit:
+            if self.round_hook is not None:
+                self.round_hook(round_index, self)
+            if not self.handles:
+                raise WorkerProcessError("no live workers left")
             balancing = self._balancing_active(round_index)
+            checkpoint_due = bool(
+                config.checkpoint_every
+                and (round_index + 1) % config.checkpoint_every == 0)
+            failures_before = result.worker_failures
 
             # 1. One round of exploration, concurrently across processes.
-            useful_before = sum(h.useful_instructions for h in self.handles)
-            replay_before = sum(h.replay_instructions for h in self.handles)
-            for handle in self.handles:
+            round_handles = list(self.handles)
+            previous = {h.worker_id: (h.useful_instructions,
+                                      h.replay_instructions)
+                        for h in round_handles}
+            for handle in round_handles:
                 self._send(handle, ExploreCommand(
                     budget=config.instructions_per_round,
-                    global_coverage_bits=handle.pending_coverage_bits))
+                    global_coverage_bits=handle.pending_coverage_bits,
+                    report_frontier=checkpoint_due))
                 handle.pending_coverage_bits = None
             statuses: Dict[int, StatusReply] = {}
-            for handle in self.handles:
-                status = self._receive(handle)
+            useful_delta = 0
+            replay_delta = 0
+            for handle in round_handles:
+                try:
+                    status = self._receive(handle)
+                except _WorkerFailure as failure:
+                    self._handle_failure(failure, result)
+                    continue
                 statuses[handle.worker_id] = status
+                prev_useful, prev_replay = previous[handle.worker_id]
+                useful_delta += status.useful_instructions - prev_useful
+                replay_delta += status.replay_instructions - prev_replay
                 self._apply_status(handle, status)
-            useful_delta = sum(h.useful_instructions for h in self.handles) - useful_before
-            replay_delta = sum(h.replay_instructions for h in self.handles) - replay_before
+            # Requeue dead workers' territories / respawn replacements now
+            # that every outstanding command has been resolved.
+            self._flush_recovery(result)
             instructions_executed += useful_delta + replay_delta
 
             # 2. Status updates into the load balancer + coverage merge.
             if round_index % config.status_update_interval == 0:
                 for handle in self.handles:
-                    status = statuses[handle.worker_id]
+                    status = statuses.get(handle.worker_id)
+                    if status is None:
+                        continue
                     merged_bits = self.load_balancer.receive_status(
                         worker_id=handle.worker_id,
-                        queue_length=status.queue_length,
+                        queue_length=handle.queue_length,
                         useful_instructions=status.useful_instructions,
                         coverage_bits=status.coverage_bits,
                         round_index=round_index)
@@ -348,32 +757,17 @@ class ProcessCloud9Cluster:
             # 3. Balancing decisions and synchronous job transfers.
             states_transferred = 0
             if balancing and round_index % config.balance_interval == 0:
-                by_id = {h.worker_id: h for h in self.handles}
                 for command in self.load_balancer.balance(round_index):
-                    result.transfer_commands += 1
-                    source = by_id[command.source]
-                    destination = by_id[command.destination]
-                    self._send(source, ExportCommand(count=command.job_count))
-                    export = self._receive(source)
-                    source.queue_length -= export.job_count
-                    if export.encoded_jobs is None:
-                        continue
-                    self._send(destination,
-                               ImportCommand(encoded_jobs=export.encoded_jobs))
-                    imported = self._receive(destination)
-                    destination.queue_length += imported.imported
-                    states_transferred += imported.imported
-                    # Keep the balancer's view fresh within this round.
-                    self.load_balancer.reports[command.source].queue_length = \
-                        source.queue_length
-                    self.load_balancer.reports[command.destination].queue_length = \
-                        destination.queue_length
+                    states_transferred += self._execute_transfer(command, result)
 
             # 4. Record the round.
             covered_count = self.load_balancer.overlay.covered_count
             coverage_percent = (100.0 * covered_count / self.line_count
                                 if self.line_count else 0.0)
-            paths_completed = sum(h.paths_completed for h in self.handles)
+            paths_completed = (self._base_paths
+                               + sum(h.paths_completed for h in self.handles)
+                               + sum(f.paths_completed
+                                     for f in self._departed_finals))
             bugs_found = sum(h.bugs_found for h in self.handles)
             result.timeline.record(RoundSnapshot(
                 round_index=round_index,
@@ -390,6 +784,12 @@ class ProcessCloud9Cluster:
             ))
             result.total_states_transferred += states_transferred
             round_index += 1
+
+            # 4b. Periodic checkpoint.  Skipped on rounds with failures: the
+            # dead worker's frontier is mid-recovery and not yet visible in
+            # any survivor's report, so a snapshot now would lose it.
+            if checkpoint_due and result.worker_failures == failures_before:
+                self._write_checkpoint(round_index, statuses)
 
             # 5. Termination checks (same order as the in-process cluster).
             if (lim.coverage_target is not None
@@ -416,21 +816,73 @@ class ProcessCloud9Cluster:
         result.wall_time = time.monotonic() - start
         return self._finalize(result, round_index)
 
+    def _execute_transfer(self, command, result: ClusterResult) -> int:
+        """Broker one source->destination job transfer; returns jobs moved."""
+        by_id = {h.worker_id: h for h in self.handles}
+        source = by_id.get(command.source)
+        destination = by_id.get(command.destination)
+        if source is None or destination is None:
+            # One end died or departed after the balance decision.
+            self.load_balancer.cancel_transfer(command)
+            return 0
+        result.transfer_commands += 1
+        try:
+            self._send(source, ExportCommand(count=command.job_count))
+            export = self._receive(source)
+        except _WorkerFailure as failure:
+            self.load_balancer.cancel_transfer(command)
+            self._handle_failure(failure, result)
+            self._flush_recovery(result)
+            return 0
+        source.queue_length -= export.job_count
+        if export.encoded_jobs is None:
+            return 0
+        exported_paths = [job.path
+                          for job in JobTree.decode(export.encoded_jobs).jobs()]
+        for path in exported_paths:
+            self.ledger.cede(command.source, path)
+            self.ledger.acquire(command.destination, path)
+        try:
+            self._send(destination,
+                       ImportCommand(encoded_jobs=export.encoded_jobs))
+            imported = self._receive(destination)
+        except _WorkerFailure as failure:
+            # The jobs are in the dead destination's territory already, so
+            # recovery requeues them; nothing is lost.
+            self._handle_failure(failure, result)
+            self._flush_recovery(result)
+            return 0
+        destination.queue_length += imported.imported
+        # Keep the balancer's view fresh within this round.
+        for handle in (source, destination):
+            report = self.load_balancer.reports.get(handle.worker_id)
+            if report is not None:
+                report.queue_length = handle.queue_length
+        return imported.imported
+
     # -- result assembly ---------------------------------------------------------------
 
     def _finalize(self, result: ClusterResult, rounds: int) -> ClusterResult:
         finals: List[FinalReply] = []
-        for handle in self.handles:
-            self._send(handle, FinalizeCommand())
-            finals.append(self._receive(handle))
+        for handle in list(self.handles):
+            try:
+                self._send(handle, FinalizeCommand())
+                finals.append(self._receive(handle))
+            except _WorkerFailure as failure:
+                # Too late to re-explore; keep its last-known counters.
+                self._handle_failure(failure, result, requeue=False)
+        finals.extend(self._departed_finals)
 
+        result.num_workers = len(self.handles) or result.num_workers
         result.rounds_executed = rounds
-        result.paths_completed = sum(f.paths_completed for f in finals)
-        result.total_useful_instructions = sum(
+        result.resumed_from_round = self._resumed_from_round
+        result.paths_completed = (self._base_paths
+                                  + sum(f.paths_completed for f in finals))
+        result.total_useful_instructions = self._base_useful + sum(
             f.stats.useful_instructions for f in finals)
-        result.total_replay_instructions = sum(
+        result.total_replay_instructions = self._base_replay + sum(
             f.stats.replay_instructions for f in finals)
-        covered: Set[int] = set()
+        covered: Set[int] = set(self._base_covered)
         all_bugs: List[BugReport] = []
         for final in finals:
             covered.update(final.covered_lines)

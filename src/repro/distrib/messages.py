@@ -16,7 +16,7 @@ detectable as a reply timeout.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Set
+from typing import Dict, List, Optional, Set, Tuple
 
 from repro.cluster.stats import WorkerStats
 from repro.engine.errors import BugReport
@@ -45,10 +45,15 @@ class ExploreCommand:
     ``global_coverage_bits`` piggybacks the load balancer's merged coverage
     vector (§3.3), exactly as the in-process cluster's COVERAGE_UPDATE
     message does; ``None`` means no update this round.
+
+    ``report_frontier`` asks the worker to attach its full frontier (as an
+    encoded JobTree) to the status reply; the coordinator sets it on
+    checkpoint rounds only, to keep the steady-state wire cost flat.
     """
 
     budget: int
     global_coverage_bits: Optional[int] = None
+    report_frontier: bool = False
 
 
 @dataclass(frozen=True)
@@ -60,9 +65,17 @@ class ExportCommand:
 
 @dataclass(frozen=True)
 class ImportCommand:
-    """Import the encoded JobTree into this worker's frontier."""
+    """Import the encoded JobTree into this worker's frontier.
+
+    ``fence_paths`` accompany recovered jobs (a dead worker's re-queued
+    territory): subtrees nested inside the imported region that live workers
+    still own, installed as fence nodes before the import.  ``recovered``
+    marks the import as failure recovery for the worker's statistics.
+    """
 
     encoded_jobs: object
+    fence_paths: Tuple[Tuple[int, ...], ...] = ()
+    recovered: bool = False
 
 
 @dataclass(frozen=True)
@@ -99,6 +112,9 @@ class StatusReply:
     paths_completed: int
     bugs_found: int
     broken_replays: int
+    #: Encoded JobTree of the worker's candidate paths; present only when
+    #: the coordinator asked for it (checkpoint rounds).
+    frontier: Optional[object] = None
 
 
 @dataclass(frozen=True)

@@ -19,7 +19,7 @@ import importlib
 import traceback
 from typing import Optional, Sequence
 
-from repro.cluster.jobs import JobTree
+from repro.cluster.jobs import Job, JobTree
 from repro.cluster.worker import Worker
 from repro.distrib.messages import (
     ErrorReply,
@@ -70,8 +70,12 @@ class DistribWorker:
             return self._finalize()
         raise TypeError("unknown worker command %r" % (command,))
 
-    def status(self) -> StatusReply:
+    def status(self, include_frontier: bool = False) -> StatusReply:
         worker = self.worker
+        frontier = None
+        if include_frontier:
+            frontier = JobTree.from_jobs(
+                [Job(path) for path in sorted(worker.frontier_paths())]).encode()
         return StatusReply(
             worker_id=self.worker_id,
             queue_length=worker.queue_length,
@@ -81,6 +85,7 @@ class DistribWorker:
             paths_completed=worker.paths_completed,
             bugs_found=len(worker.bugs),
             broken_replays=worker.stats.broken_replays,
+            frontier=frontier,
         )
 
     def _explore(self, command: ExploreCommand) -> StatusReply:
@@ -94,7 +99,7 @@ class DistribWorker:
             # premature termination) is reported in ``broken_replays`` and
             # its node dropped -- the worker itself keeps going.
             self.worker.explore(command.budget)
-        return self.status()
+        return self.status(include_frontier=command.report_frontier)
 
     def _export(self, command: ExportCommand) -> ExportReply:
         job_tree = self.worker.export_jobs(command.count)
@@ -107,7 +112,9 @@ class DistribWorker:
 
     def _import(self, command: ImportCommand) -> ImportReply:
         job_tree = JobTree.decode(command.encoded_jobs)
-        imported = self.worker.import_jobs(job_tree)
+        imported = self.worker.import_jobs(job_tree,
+                                           fence_paths=command.fence_paths,
+                                           recovered=command.recovered)
         return ImportReply(worker_id=self.worker_id, imported=imported)
 
     def _finalize(self) -> FinalReply:

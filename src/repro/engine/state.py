@@ -11,7 +11,7 @@ from __future__ import annotations
 import copy
 import enum
 import itertools
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence, Set, Tuple, Union
 
 from repro.engine.memory import (
@@ -174,8 +174,10 @@ class ExecutionState:
         self._symbol_counter = 0
 
         # Environment-model private data (the POSIX model hangs its
-        # auxiliary structures here; see repro.posix).
+        # auxiliary structures here; see repro.posix).  Copy-on-write across
+        # forks: read/mutate it through env_for_write(), never directly.
         self.env: Dict[str, object] = {}
+        self._env_shared = False
 
         # Testing-platform knobs (fault injection, scheduler policy, ...).
         self.options: Dict[str, object] = {}
@@ -243,9 +245,29 @@ class ExecutionState:
         clone.symbolic_inputs = {k: list(v) for k, v in self.symbolic_inputs.items()}
         clone._symbol_counter = self._symbol_counter
 
-        clone.env = copy.deepcopy(self.env)
+        # The environment area is copied lazily: forking used to deep-copy
+        # it eagerly, which made every fork pay for the whole POSIX model
+        # even when the child was pruned (or exported) without ever running.
+        # Both sides now share the structure and the first write (any
+        # env_for_write call) peels off a private deep copy.
+        clone.env = self.env
+        clone._env_shared = True
+        self._env_shared = True
         clone.options = dict(self.options)
         return clone
+
+    def env_for_write(self) -> Dict[str, object]:
+        """The environment area, privately owned by this state.
+
+        The write barrier of the copy-on-write fork: when the area is still
+        shared with a fork sibling, take a private deep copy first.  Every
+        accessor that may mutate model data (in practice: any syscall) must
+        come through here rather than touching ``env`` directly.
+        """
+        if self._env_shared:
+            self.env = copy.deepcopy(self.env)
+            self._env_shared = False
+        return self.env
 
     # -- processes / threads -------------------------------------------------------
 

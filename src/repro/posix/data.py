@@ -215,8 +215,13 @@ POSIX_ENV_KEY = "posix"
 
 
 def posix_of(state: ExecutionState) -> PosixState:
-    """The POSIX model data of a state (installed by ``install_posix_model``)."""
-    posix = state.env.get(POSIX_ENV_KEY)
+    """The POSIX model data of a state (installed by ``install_posix_model``).
+
+    Goes through the state's copy-on-write barrier: model data is freely
+    mutated by every syscall handler, so the first access after a fork peels
+    the state's private copy off the shared environment area.
+    """
+    posix = state.env_for_write().get(POSIX_ENV_KEY)
     if posix is None:
         raise RuntimeError(
             "POSIX model not installed for this state; "

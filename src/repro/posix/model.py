@@ -49,7 +49,7 @@ def posix_handlers() -> Dict[str, NativeHandler]:
 def initialize_posix_state(state: ExecutionState) -> None:
     """Create the model's bookkeeping and standard descriptors for a state."""
     posix = PosixState()
-    state.env[POSIX_ENV_KEY] = posix
+    state.env_for_write()[POSIX_ENV_KEY] = posix
     main_pid = 1
     table = posix.table_for(main_pid)
     table[0] = FileDescriptor(fd=0, kind=FdKind.CHAR_SOURCE)

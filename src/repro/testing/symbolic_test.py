@@ -115,7 +115,11 @@ class SymbolicTest:
         Limit fields (``max_paths=...``, ``coverage_target=...``, ...) may be
         passed directly among ``options``; remaining options are
         backend-specific (``strategy=`` for ``"single"``; ``workers=``,
-        ``config=`` or any cluster-config field for the cluster backends).
+        ``config=`` or any cluster-config field for the cluster backends;
+        ``resume_from=`` a :class:`~repro.cluster.checkpoint.ClusterCheckpoint`
+        or saved checkpoint path for the ``"cluster"``/``"threaded"``/
+        ``"process"`` backends, paired with the ``checkpoint_every=`` /
+        ``checkpoint_path=`` config knobs that produce the checkpoints).
         """
         from repro.api.runner import run_test
         return run_test(self, backend=backend, limits=limits, **options)

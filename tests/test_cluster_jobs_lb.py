@@ -202,6 +202,25 @@ class TestCoverageOverlay:
         assert new_for_2 == {0, 1}
         assert view2.known_covered() == {0, 1, 2}
 
+    def test_local_growth_is_not_reported_as_global_news(self):
+        """Regression: merge_global used to OR the local vector into the
+        global view before comparing counts, so purely local growth was
+        misreported as LB-driven change (while the returned set, computed
+        against local only, could simultaneously be empty)."""
+        view = WorkerCoverageView(8)
+        view.cover([0, 1])
+        # The LB echoes back exactly what this worker reported: no news.
+        assert view.merge_global(view.snapshot_bits()) == set()
+
+    def test_returned_lines_exclude_previously_received_global(self):
+        view = WorkerCoverageView(8)
+        assert view.merge_global(0b0011) == {0, 1}
+        # A later vector repeating lines 0-1 only brings line 2 as news.
+        assert view.merge_global(0b0111) == {2}
+        view.cover([7])
+        assert view.merge_global(0b0111) == set()
+        assert view.known_covered() == {0, 1, 2, 7}
+
     def test_merge_is_monotone(self):
         overlay = CoverageOverlay(line_count=8)
         overlay.merge_from_worker(0b1)

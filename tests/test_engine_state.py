@@ -157,10 +157,34 @@ class TestForking:
 
     def test_fork_isolates_env(self):
         state = _state()
-        state.env["posixish"] = {"table": {1: "a"}}
+        state.env_for_write()["posixish"] = {"table": {1: "a"}}
         clone = state.fork()
-        clone.env["posixish"]["table"][1] = "b"
+        clone.env_for_write()["posixish"]["table"][1] = "b"
         assert state.env["posixish"]["table"][1] == "a"
+
+    def test_fork_env_is_copy_on_write(self):
+        """Forking no longer deep-copies the environment area eagerly: both
+        sides share it until one writes through the env_for_write barrier."""
+        state = _state()
+        state.env_for_write()["posixish"] = {"table": {1: "a"}}
+        clone = state.fork()
+        assert clone.env is state.env  # shared until first write
+        shared = state.env
+        clone.env_for_write()["posixish"]["table"][1] = "b"
+        assert clone.env is not shared
+        assert state.env is shared  # the parent still sees the original
+        assert state.env["posixish"]["table"][1] == "a"
+        # The parent's first write peels its own copy too (a second fork
+        # sibling may still reference the shared structure).
+        state.env_for_write()["posixish"]["table"][1] = "c"
+        assert state.env["posixish"]["table"][1] == "c"
+        assert clone.env["posixish"]["table"][1] == "b"
+
+    def test_env_for_write_without_fork_is_in_place(self):
+        state = _state()
+        env = state.env_for_write()
+        assert env is state.env
+        assert state.env_for_write() is env  # no spurious copies
 
     def test_fork_gets_fresh_state_id(self):
         state = _state()
