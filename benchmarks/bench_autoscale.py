@@ -1,0 +1,149 @@
+"""Autoscaling: capacity bill of elastic vs fixed-size clusters (§2.3).
+
+Cloud9's premise is testing as an *on-demand* cloud service: capacity should
+follow the workload.  This benchmark compares three provisioning choices on
+the same deterministic targets (printf and testcmd), all on the virtual-time
+cluster backend so results are exactly reproducible:
+
+* ``fixed-2``   -- an under-provisioned cluster (cheap, slow to the goal);
+* ``fixed-8``   -- an over-provisioned cluster (fast, pays 8 worker-rounds
+  per round even while the frontier is tiny or draining);
+* ``autoscaled``-- starts at 2 workers and lets the
+  :class:`~repro.cluster.autoscale.AutoscalePolicy` grow toward 8 under
+  queue pressure and shrink as the frontier drains.
+
+The headline metric is *worker-rounds* (Σ live workers over rounds): what a
+cloud deployment would bill.  On a deterministic target every configuration
+must converge to identical paths, coverage and bugs -- elasticity buys the
+capacity saving, not a different answer.  Results are printed as a table and
+written to ``BENCH_autoscale.json`` at the repository root.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+
+from repro.api import ExplorationLimits
+from repro.cluster.autoscale import AutoscalePolicy
+from repro.targets import printf, testcmd
+
+from conftest import print_table, run_once
+
+LIMITS = ExplorationLimits(max_rounds=600)
+INSTRUCTIONS_PER_ROUND = 100
+
+POLICY = AutoscalePolicy(min_workers=2, max_workers=8,
+                         queue_high=4.0, queue_low=1.0,
+                         cooldown_rounds=1, hysteresis_rounds=1)
+
+TARGETS = {
+    "printf": lambda: printf.make_symbolic_test(format_length=2),
+    "testcmd": lambda: testcmd.make_symbolic_test(),
+}
+
+OUTPUT_PATH = os.path.join(os.path.dirname(os.path.abspath(__file__)),
+                           os.pardir, "BENCH_autoscale.json")
+
+
+def _row(label, result) -> dict:
+    return {
+        "label": label,
+        "rounds_executed": result.rounds_executed,
+        "worker_rounds": result.worker_rounds,
+        "peak_workers": result.peak_workers,
+        "workers_added": result.workers_added,
+        "workers_removed": result.workers_removed,
+        "paths_completed": result.paths_completed,
+        "coverage_percent": result.coverage_percent,
+        "bug_summaries": result.bug_summaries(),
+        "useful_instructions": result.useful_instructions,
+        "replay_instructions": result.replay_instructions,
+        "wall_time": result.wall_time,
+        "exhausted": result.exhausted,
+    }
+
+
+def _run_target(name: str) -> list:
+    make = TARGETS[name]
+    rows = []
+    for label, workers, autoscale in (("fixed-2", 2, None),
+                                      ("fixed-8", 8, None),
+                                      ("autoscaled", 2, POLICY)):
+        kwargs = dict(workers=workers,
+                      instructions_per_round=INSTRUCTIONS_PER_ROUND,
+                      limits=LIMITS)
+        if autoscale is not None:
+            kwargs["autoscale"] = autoscale
+        result = make().run(backend="cluster", **kwargs)
+        rows.append(_row(label, result))
+    return rows
+
+
+def _run_experiment() -> dict:
+    payload = {
+        "benchmark": "autoscale",
+        "limits": LIMITS.as_dict(),
+        "instructions_per_round": INSTRUCTIONS_PER_ROUND,
+        "policy": {
+            "min_workers": POLICY.min_workers,
+            "max_workers": POLICY.max_workers,
+            "queue_high": POLICY.queue_high,
+            "queue_low": POLICY.queue_low,
+            "cooldown_rounds": POLICY.cooldown_rounds,
+            "hysteresis_rounds": POLICY.hysteresis_rounds,
+        },
+        "targets": {name: _run_target(name) for name in TARGETS},
+    }
+    with open(OUTPUT_PATH, "w") as handle:
+        json.dump(payload, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    return payload
+
+
+def _print_payload(payload: dict) -> None:
+    for name, rows in sorted(payload["targets"].items()):
+        print_table(
+            "Autoscaling vs fixed provisioning -- %s "
+            "(virtual-time cluster backend)" % name,
+            ["config", "rounds", "worker-rounds", "peak", "added", "removed",
+             "paths", "coverage %", "wall s"],
+            [(row["label"], row["rounds_executed"], row["worker_rounds"],
+              row["peak_workers"], row["workers_added"],
+              row["workers_removed"], row["paths_completed"],
+              round(row["coverage_percent"], 1), round(row["wall_time"], 3))
+             for row in rows])
+    print("baseline written to %s" % os.path.normpath(OUTPUT_PATH))
+
+
+def test_autoscale_capacity_bill(benchmark):
+    payload = run_once(benchmark, _run_experiment)
+    _print_payload(payload)
+    for name, rows in payload["targets"].items():
+        by_label = {row["label"]: row for row in rows}
+        fixed2, fixed8 = by_label["fixed-2"], by_label["fixed-8"]
+        auto = by_label["autoscaled"]
+        for row in rows:
+            assert row["exhausted"], "%s/%s did not finish" % (name,
+                                                               row["label"])
+        # Deterministic targets: provisioning must not change the answer.
+        assert (auto["paths_completed"] == fixed2["paths_completed"]
+                == fixed8["paths_completed"])
+        assert (auto["coverage_percent"] == fixed2["coverage_percent"]
+                == fixed8["coverage_percent"])
+        assert auto["bug_summaries"] == fixed8["bug_summaries"]
+        # The autoscaler actually scaled...
+        assert auto["workers_added"] >= 1
+        assert 2 <= auto["peak_workers"] <= 8
+        # ...and the elastic run bills fewer worker-rounds than the
+        # over-provisioned fixed-8 cluster.
+        assert auto["worker_rounds"] < fixed8["worker_rounds"]
+
+
+if __name__ == "__main__":  # pragma: no cover - manual invocation
+    class _Bench:
+        @staticmethod
+        def pedantic(func, rounds, iterations, warmup_rounds):
+            return func()
+
+    _print_payload(run_once(_Bench, _run_experiment))

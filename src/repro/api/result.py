@@ -68,6 +68,13 @@ class RunResult:
     worker_failures: int = 0
     jobs_recovered: int = 0
     respawns: int = 0
+    #: Elastic-membership counters (cluster backends): workers that joined /
+    #: left mid-run -- voluntarily or via ``autoscale=`` -- and the largest
+    #: live membership reached.  The per-round trace is
+    #: ``timeline.worker_count_series()``.
+    workers_added: int = 0
+    workers_removed: int = 0
+    peak_workers: int = 0
     #: Round index of the checkpoint this run resumed from (None = fresh).
     resumed_from_round: Optional[int] = None
     #: The legacy result object this facade was adapted from.
@@ -103,6 +110,15 @@ class RunResult:
         fresh search (cache or recent-model reuse), across all workers;
         0.0 when independence partitioning was disabled."""
         return (self.cache_stats or {}).get("independence_hit_rate", 0.0)
+
+    @property
+    def worker_rounds(self) -> Optional[int]:
+        """Total worker-rounds consumed (Σ live workers over rounds) -- the
+        capacity bill an autoscaled run tries to keep below a fixed-size
+        one's.  None when the backend keeps no timeline."""
+        if self.timeline is None:
+            return None
+        return self.timeline.worker_rounds()
 
     @property
     def found_bug(self) -> bool:
@@ -197,6 +213,9 @@ class RunResult:
             worker_failures=result.worker_failures,
             jobs_recovered=result.jobs_recovered,
             respawns=result.respawns,
+            workers_added=result.workers_added,
+            workers_removed=result.workers_removed,
+            peak_workers=result.peak_workers,
             resumed_from_round=result.resumed_from_round,
             raw=result,
         )

@@ -248,7 +248,9 @@ def run_test(test: "SymbolicTest", backend: str = "single",
     Limit fields (``max_paths=...``, ``coverage_target=...``, ...) may be
     passed directly among ``options``; they are folded into ``limits``.
     Everything else is forwarded to the backend (``workers=``, ``strategy=``,
-    ``config=``, or any cluster-config field).
+    ``config=``, or any cluster-config field -- e.g. ``autoscale=`` an
+    :class:`~repro.cluster.autoscale.AutoscalePolicy` to run the cluster
+    backends elastically).
     """
     limits = ExplorationLimits.pop_from(options, base=limits)
     return get_runner(backend).run(test, limits=limits, **options)

@@ -24,9 +24,13 @@ execution tree across shared-nothing workers:
 * :mod:`repro.cluster.ledger` -- the coordinator-side frontier ledger used
   to recover a dead worker's territory (§2.3 failure model).
 * :mod:`repro.cluster.checkpoint` -- resumable run snapshots (frontier,
-  coverage, counters, strategy seeds) behind ``run(resume_from=...)``.
+  coverage, counters, bugs/test cases, strategy seeds) behind
+  ``run(resume_from=...)``.
+* :mod:`repro.cluster.autoscale` -- the autoscaling policy engine driving
+  elastic membership from queue-length band/spread and round wall time.
 """
 
+from repro.cluster.autoscale import AutoscalePolicy, Autoscaler
 from repro.cluster.checkpoint import ClusterCheckpoint
 from repro.cluster.coordinator import Cloud9Cluster, ClusterConfig, ClusterResult
 from repro.cluster.jobs import Job, JobTree
@@ -39,6 +43,8 @@ from repro.cluster.threaded import ThreadedCloud9Cluster
 from repro.cluster.worker import Worker
 
 __all__ = [
+    "AutoscalePolicy",
+    "Autoscaler",
     "Cloud9Cluster",
     "ThreadedCloud9Cluster",
     "ClusterCheckpoint",

@@ -9,10 +9,12 @@ as a job transfer would.
 
 Checkpoints serialize to plain JSON so a resumed run needs nothing beyond
 the spec registry (process backend) or the test object (in-process backends)
-to rebuild its programs.  Bug reports and generated test cases from before
-the checkpoint stay in the interrupted run's result object; a resumed run
-re-finds only what lies beyond the checkpointed frontier, while coverage and
-cumulative path counts carry over.
+to rebuild its programs.  They are *self-contained*: bug reports and
+generated test-case inputs found before the snapshot are persisted alongside
+the frontier (``bug_reports`` / ``test_cases``), and the elapsed wall time
+is carried in ``wall_time``, so a ``resume_from=`` run's final result
+reports the pre-crash bugs and cumulative timing instead of only what the
+resumed segment re-finds.
 """
 
 from __future__ import annotations
@@ -20,6 +22,9 @@ from __future__ import annotations
 import json
 from dataclasses import asdict, dataclass, field
 from typing import Dict, List, Optional, Tuple, Union
+
+from repro.engine.errors import BugKind, BugReport
+from repro.engine.test_case import TestCase
 
 __all__ = ["ClusterCheckpoint"]
 
@@ -39,6 +44,17 @@ class ClusterCheckpoint:
     paths_completed: int = 0
     useful_instructions: int = 0
     replay_instructions: int = 0
+    #: Cumulative wall-clock seconds spent exploring up to this snapshot
+    #: (including segments before any earlier resume); a resumed run adds
+    #: its own elapsed time on top when reporting ``ClusterResult.wall_time``.
+    wall_time: float = 0.0
+    #: Bug reports found before the snapshot, JSON-encoded via
+    #: :meth:`encode_bug` (the nested test case, if any, is dropped; the
+    #: generated inputs live in ``test_cases``).
+    bug_reports: List[Dict[str, object]] = field(default_factory=list)
+    #: Generated test cases (concrete inputs) found before the snapshot,
+    #: JSON-encoded via :meth:`encode_test_case`.
+    test_cases: List[Dict[str, object]] = field(default_factory=list)
     #: Per-worker counter snapshots (informational; not restored into workers).
     worker_stats: Dict[int, Dict[str, int]] = field(default_factory=dict)
     #: Search-strategy seeds per worker, recorded so an identical cluster can
@@ -59,6 +75,8 @@ class ClusterCheckpoint:
                              for k, v in self.worker_stats.items()}
         self.strategy_seeds = {int(k): int(v)
                                for k, v in self.strategy_seeds.items()}
+        self.bug_reports = [dict(b) for b in self.bug_reports]
+        self.test_cases = [dict(t) for t in self.test_cases]
 
     # -- serialization -----------------------------------------------------------
 
@@ -94,6 +112,49 @@ class ClusterCheckpoint:
             return cls.load(value)
         raise TypeError("resume_from must be a ClusterCheckpoint or a path, "
                         "got %r" % (type(value).__name__,))
+
+    # -- bug / test-case payloads (self-contained resume) --------------------------
+
+    @staticmethod
+    def encode_bug(bug: BugReport) -> Dict[str, object]:
+        """JSON-safe form of a bug report (nested test case dropped)."""
+        return {"kind": bug.kind.value, "message": bug.message,
+                "state_id": bug.state_id, "line": bug.line,
+                "function": bug.function}
+
+    def decode_bugs(self) -> List[BugReport]:
+        return [BugReport(kind=BugKind(str(entry["kind"])),
+                          message=str(entry.get("message", "")),
+                          state_id=int(entry.get("state_id", -1)),
+                          line=entry.get("line"),
+                          function=entry.get("function"))
+                for entry in self.bug_reports]
+
+    @staticmethod
+    def encode_test_case(case: TestCase) -> Dict[str, object]:
+        """JSON-safe form of a generated test case (bytes as hex)."""
+        return {"state_id": case.state_id,
+                "inputs": {name: value.hex()
+                           for name, value in case.inputs.items()},
+                "path_length": case.path_length,
+                "fork_trace": list(case.fork_trace),
+                "exit_code": case.exit_code,
+                "is_error": case.is_error,
+                "error_summary": case.error_summary}
+
+    def decode_test_cases(self) -> List[TestCase]:
+        cases: List[TestCase] = []
+        for entry in self.test_cases:
+            cases.append(TestCase(
+                state_id=int(entry.get("state_id", -1)),
+                inputs={name: bytes.fromhex(value) for name, value
+                        in dict(entry.get("inputs", {})).items()},
+                path_length=int(entry.get("path_length", 0)),
+                fork_trace=[int(i) for i in entry.get("fork_trace", [])],
+                exit_code=entry.get("exit_code"),
+                is_error=bool(entry.get("is_error", False)),
+                error_summary=entry.get("error_summary")))
+        return cases
 
     # -- convenience --------------------------------------------------------------
 

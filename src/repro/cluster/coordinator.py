@@ -19,6 +19,7 @@ import time
 from dataclasses import asdict, dataclass, field
 from typing import Callable, Dict, List, Optional, Sequence, Set, Tuple, Union
 
+from repro.cluster.autoscale import AutoscalePolicy, Autoscaler
 from repro.cluster.checkpoint import ClusterCheckpoint
 from repro.cluster.jobs import Job, JobTree
 from repro.cluster.load_balancer import LoadBalancer, TransferCommand
@@ -62,12 +63,26 @@ class ClusterConfig:
     #: that file so a killed run can resume via ``run(resume_from=...)``.
     checkpoint_every: Optional[int] = None
     checkpoint_path: Optional[str] = None
+    #: Autoscaling policy driving elastic membership from the round hook
+    #: (None = fixed size; ``True`` = default :class:`AutoscalePolicy`).
+    #: ``num_workers`` is the *initial* size; the policy's min/max bound it
+    #: from there.
+    autoscale: Optional[AutoscalePolicy] = None
+    #: Jobs a retiring worker hands over per round.  ``remove_worker`` no
+    #: longer drains the whole frontier synchronously: the worker stays a
+    #: *draining* member (not exploring, not balanced) and exports at most
+    #: this many jobs per round until empty, so scale-down never stalls a
+    #: round on a large frontier.
+    drain_chunk: int = 16
 
     def __post_init__(self) -> None:
         if self.num_workers < 1:
             raise ValueError("a cluster needs at least one worker")
         if self.instructions_per_round < 1:
             raise ValueError("instructions_per_round must be positive")
+        if self.drain_chunk < 1:
+            raise ValueError("drain_chunk must be positive")
+        self.autoscale = AutoscalePolicy.coerce(self.autoscale)
 
 
 @dataclass
@@ -108,6 +123,12 @@ class ClusterResult:
     failed_worker_stats: Dict[int, WorkerStats] = field(default_factory=dict)
     # Round index of the checkpoint this run resumed from (None = fresh run).
     resumed_from_round: Optional[int] = None
+    # Elastic-membership accounting: workers that joined/left (voluntarily
+    # or via autoscaling) and the largest live membership the run reached.
+    # The per-round trace is ``timeline`` (RoundSnapshot.num_workers).
+    workers_added: int = 0
+    workers_removed: int = 0
+    peak_workers: int = 0
 
     @property
     def useful_instructions_per_worker(self) -> float:
@@ -154,17 +175,32 @@ class Cloud9Cluster:
         #: ``round_hook(round_index, cluster)`` -- the supported place to
         #: exercise elastic membership (add/remove workers) mid-run.
         self.round_hook: Optional[Callable[[int, "Cloud9Cluster"], None]] = None
+        #: The Autoscaler driving the current run (None unless
+        #: ``config.autoscale`` is set; fresh per ``run()`` call).
+        self.autoscaler: Optional[Autoscaler] = None
         #: Most recent checkpoint written by this run (None until the first).
         self.last_checkpoint: Optional[ClusterCheckpoint] = None
+        # Workers retiring incrementally: no longer exploring or balanced,
+        # handing over drain_chunk jobs per round until empty.
+        self._draining: List[Worker] = []
         # Workers that left via remove_worker; their results still count.
         self._departed: List[Worker] = []
+        # Elastic-membership accounting (reported on ClusterResult).
+        self._workers_added = 0
+        self._workers_removed = 0
+        self._peak_workers = 0
         # Carried-over counters when resuming from a checkpoint.
         self._base_paths = 0
         self._base_useful = 0
         self._base_replay = 0
+        self._base_wall = 0.0
         self._base_covered: Set[int] = set()
+        self._base_bugs: List[BugReport] = []
+        self._base_tests: List[TestCase] = []
         self._resumed_from_round: Optional[int] = None
+        self._run_started = 0.0
         self._build()
+        self._peak_workers = len(self.workers)
 
     # -- construction ------------------------------------------------------------------
 
@@ -189,8 +225,14 @@ class Cloud9Cluster:
 
     # -- elastic membership (workers join and leave between rounds, §2.3) ---------------
 
+    @property
+    def live_worker_ids(self) -> List[int]:
+        """Ids of the live (exploring) members, excluding draining ones."""
+        return [w.worker_id for w in self.workers]
+
     def _next_worker_id(self) -> int:
         used = [w.worker_id for w in self.workers]
+        used.extend(w.worker_id for w in self._draining)
         used.extend(w.worker_id for w in self._departed)
         return max(used, default=0) + 1
 
@@ -205,22 +247,33 @@ class Cloud9Cluster:
         worker = Worker(worker_id, executor, self.state_factory,
                         strategy_name=self.config.strategy or DEFAULT_STRATEGY)
         self.workers.append(worker)
-        self.load_balancer.register_worker(worker_id)
+        # Seed the newcomer's report with the mean queue length: until its
+        # first real status arrives, a fabricated zero would skew
+        # queue_length_spread() and draw spurious transfers.
+        self.load_balancer.register_worker(
+            worker_id,
+            queue_length=round(self.load_balancer.mean_queue_length()))
         # A joining worker starts from the merged global coverage (§3.3).
         bits = self.load_balancer.overlay.global_vector.as_int()
         if bits:
             worker.strategy.merge_global_coverage(
                 worker.coverage_view.merge_global(bits))
+        self._workers_added += 1
+        self._peak_workers = max(self._peak_workers, len(self.workers))
         return worker_id
 
     def remove_worker(self, worker_id: int) -> int:
-        """Retire a worker, handing its whole frontier to the survivors.
+        """Start retiring a worker, handing its frontier over incrementally.
 
-        The departed worker's results (paths, bugs, coverage, stats) still
-        count toward the final :class:`ClusterResult`.  Pending transfers
-        addressed to it are cancelled (with the load balancer's queue
-        estimates rolled back) and job trees already on the wire to it are
-        re-routed.  Returns the number of jobs handed over.
+        The worker immediately stops exploring and leaves the load
+        balancer's view -- its report and any in-flight transfer estimates
+        naming it are purged atomically, with job trees already on the wire
+        to it re-routed -- but its frontier drains in ``drain_chunk``-sized
+        job exports across the following rounds (it stays a *draining*
+        member until empty), so removal never stalls a round.  Its results
+        (paths, bugs, coverage, stats) still count toward the final
+        :class:`ClusterResult`.  Returns the number of jobs handed over in
+        the first drain chunk.
         """
         worker = next((w for w in self.workers if w.worker_id == worker_id), None)
         if worker is None:
@@ -228,20 +281,20 @@ class Cloud9Cluster:
         if len(self.workers) == 1:
             raise ValueError("cannot remove the last worker")
         self.workers.remove(worker)
-        self._departed.append(worker)
+        self._draining.append(worker)
+        self._workers_removed += 1
         survivors = sorted(self.workers, key=lambda w: w.queue_length)
 
-        handed_over = 0
-        job_tree = worker.export_jobs(worker.queue_length)
-        if len(job_tree):
-            handed_over += survivors[0].import_jobs(job_tree)
-
-        # Messages already addressed to the departed worker.
+        # Purge the departed worker from the balancer atomically: messages
+        # already addressed to it are re-routed (with the receiving
+        # survivor's queue estimate credited) or cancelled (with the
+        # in-flight estimates rolled back), then its report is dropped.
         for message in self.transport.drop_messages(
                 lambda m: m.recipient == worker_id):
             if message.kind == MessageKind.JOB_TRANSFER:
-                handed_over += survivors[0].import_jobs(
+                moved = survivors[0].import_jobs(
                     JobTree.decode(message.payload["jobs"]))
+                self._credit_report(survivors[0].worker_id, moved)
             elif message.kind == MessageKind.TRANSFER_REQUEST:
                 self.load_balancer.cancel_transfer(TransferCommand(
                     source=worker_id,
@@ -256,14 +309,48 @@ class Cloud9Cluster:
                 destination=worker_id,
                 job_count=int(message.payload["job_count"])))
         self.load_balancer.deregister_worker(worker_id)
-        return handed_over
+
+        return self._drain_once(worker)
+
+    def _credit_report(self, worker_id: int, jobs: int) -> None:
+        """Adjust a worker's cached queue-length estimate after a direct
+        (non-status) job hand-over so the next balance() does not plan
+        against a stale length."""
+        if jobs <= 0:
+            return
+        report = self.load_balancer.reports.get(worker_id)
+        if report is not None:
+            report.queue_length += jobs
+
+    def _drain_once(self, worker: Worker) -> int:
+        """Export one drain chunk from a draining worker to the least-loaded
+        survivor; retires the worker once its frontier is empty."""
+        moved = 0
+        if worker.queue_length and self.workers:
+            job_tree = worker.export_jobs(self.config.drain_chunk)
+            if len(job_tree):
+                target = min(self.workers, key=lambda w: w.queue_length)
+                moved = target.import_jobs(job_tree)
+                self._credit_report(target.worker_id, moved)
+        if worker.queue_length == 0 and worker in self._draining:
+            self._draining.remove(worker)
+            self._departed.append(worker)
+        return moved
+
+    def _advance_drains(self) -> None:
+        for worker in list(self._draining):
+            self._drain_once(worker)
 
     # -- checkpoint / resume -------------------------------------------------------------
+
+    def _members(self) -> List[Worker]:
+        """Everyone whose results count: live, draining and departed."""
+        return self.workers + self._draining + self._departed
 
     def _coverage_bits(self) -> int:
         bits = self.load_balancer.overlay.global_vector.as_int()
         line_count = self.load_balancer.overlay.line_count
-        for worker in self.workers + self._departed:
+        for worker in self._members():
             bits |= CoverageBitVector.from_lines(
                 line_count, worker.executor.covered_lines).as_int()
         for line in self._base_covered:
@@ -271,24 +358,40 @@ class Cloud9Cluster:
                 bits |= 1 << line
         return bits
 
+    def _all_bugs(self) -> List[BugReport]:
+        bugs = list(self._base_bugs)
+        for worker in self._members():
+            bugs.extend(worker.bugs)
+        return bugs
+
+    def _all_test_cases(self) -> List[TestCase]:
+        cases = list(self._base_tests)
+        for worker in self._members():
+            cases.extend(worker.test_cases)
+        return cases
+
     def _write_checkpoint(self, round_index: int) -> ClusterCheckpoint:
         frontier: List[Tuple[int, ...]] = []
-        for worker in self.workers:
+        for worker in self.workers + self._draining:
             frontier.extend(sorted(worker.frontier_paths()))
+        members = self._members()
         checkpoint = ClusterCheckpoint(
             round_index=round_index,
             frontier_paths=sorted(frontier),
             coverage_bits=self._coverage_bits(),
             line_count=self.load_balancer.overlay.line_count,
             paths_completed=(self._base_paths
-                            + sum(w.paths_completed for w in self.workers)
-                            + sum(w.paths_completed for w in self._departed)),
+                            + sum(w.paths_completed for w in members)),
             useful_instructions=(self._base_useful + sum(
-                w.stats.useful_instructions
-                for w in self.workers + self._departed)),
+                w.stats.useful_instructions for w in members)),
             replay_instructions=(self._base_replay + sum(
-                w.stats.replay_instructions
-                for w in self.workers + self._departed)),
+                w.stats.replay_instructions for w in members)),
+            wall_time=(self._base_wall
+                       + (time.monotonic() - self._run_started)),
+            bug_reports=[ClusterCheckpoint.encode_bug(b)
+                         for b in _dedupe_bugs(self._all_bugs())],
+            test_cases=[ClusterCheckpoint.encode_test_case(t)
+                        for t in self._all_test_cases()],
             worker_stats={w.worker_id: asdict(w.stats) for w in self.workers},
             strategy_seeds={w.worker_id: w.worker_id for w in self.workers},
         )
@@ -311,7 +414,10 @@ class Cloud9Cluster:
         self._base_paths = checkpoint.paths_completed
         self._base_useful = checkpoint.useful_instructions
         self._base_replay = checkpoint.replay_instructions
+        self._base_wall = checkpoint.wall_time
         self._base_covered = checkpoint.covered_lines()
+        self._base_bugs = checkpoint.decode_bugs()
+        self._base_tests = checkpoint.decode_test_cases()
         self._resumed_from_round = checkpoint.round_index
 
     # -- helpers -----------------------------------------------------------------------
@@ -325,13 +431,13 @@ class Cloud9Cluster:
         return True
 
     def _total_candidates(self) -> int:
-        return sum(w.queue_length for w in self.workers)
+        # Draining workers' outstanding jobs count: they are still part of
+        # the global frontier (survivors receive them chunk by chunk).
+        return sum(w.queue_length for w in self.workers + self._draining)
 
     def _all_covered_lines(self) -> Set[int]:
         covered: Set[int] = set(self._base_covered)
-        for worker in self.workers:
-            covered.update(worker.executor.covered_lines)
-        for worker in self._departed:
+        for worker in self._members():
             covered.update(worker.executor.covered_lines)
         return covered
 
@@ -384,13 +490,25 @@ class Cloud9Cluster:
         result = ClusterResult(num_workers=config.num_workers,
                                line_count=line_count)
         start = time.monotonic()
+        self._run_started = start
         instructions_executed = 0
+        self.autoscaler = (Autoscaler(config.autoscale)
+                           if config.autoscale is not None else None)
 
         round_index = 0
         while round_index < limit:
             if self.round_hook is not None:
                 self.round_hook(round_index, self)
+            if self.autoscaler is not None:
+                self.autoscaler(round_index, self)
+            self._advance_drains()
+            self._peak_workers = max(self._peak_workers, len(self.workers))
             balancing = self._balancing_active(round_index)
+            # Unified checkpoint cadence across backends: a snapshot lands
+            # after every checkpoint_every *completed* rounds.
+            checkpoint_due = bool(
+                config.checkpoint_every
+                and (round_index + 1) % config.checkpoint_every == 0)
             self.transport.advance_round()
 
             # 1. Deliver pending messages (job transfers, coverage, requests).
@@ -439,8 +557,8 @@ class Cloud9Cluster:
             coverage_percent = 100.0 * len(covered) / line_count if line_count else 0.0
             paths_completed = (self._base_paths
                                + sum(w.paths_completed
-                                     for w in self.workers + self._departed))
-            bugs_found = sum(len(w.bugs) for w in self.workers + self._departed)
+                                     for w in self._members()))
+            bugs_found = sum(len(w.bugs) for w in self._members())
             result.timeline.record(RoundSnapshot(
                 round_index=round_index,
                 queue_lengths={w.worker_id: w.queue_length for w in self.workers},
@@ -453,13 +571,13 @@ class Cloud9Cluster:
                 paths_completed=paths_completed,
                 bugs_found=bugs_found,
                 load_balancing_enabled=balancing,
+                num_workers=len(self.workers),
             ))
             result.total_states_transferred += states_transferred
             round_index += 1
 
             # 4b. Periodic checkpoint (between rounds, after status merge).
-            if (config.checkpoint_every
-                    and round_index % config.checkpoint_every == 0):
+            if checkpoint_due:
                 self._write_checkpoint(round_index)
 
             # 5. Termination checks.
@@ -481,14 +599,19 @@ class Cloud9Cluster:
             if max_wall_time is not None and time.monotonic() - start >= max_wall_time:
                 break
 
-        result.wall_time = time.monotonic() - start
+        # Cumulative across resume_from= segments: the checkpoint carries the
+        # wall time already spent, this run adds its own elapsed time.
+        result.wall_time = self._base_wall + (time.monotonic() - start)
         return self._finalize(result, round_index)
 
     def _finalize(self, result: ClusterResult, rounds: int) -> ClusterResult:
-        members = self.workers + self._departed
+        members = self._members()
         result.num_workers = len(self.workers)
         result.rounds_executed = rounds
         result.resumed_from_round = self._resumed_from_round
+        result.workers_added = self._workers_added
+        result.workers_removed = self._workers_removed
+        result.peak_workers = max(self._peak_workers, len(self.workers))
         result.paths_completed = (self._base_paths
                                   + sum(w.paths_completed for w in members))
         result.total_useful_instructions = self._base_useful + sum(
@@ -498,7 +621,8 @@ class Cloud9Cluster:
         result.covered_lines = self._all_covered_lines()
         result.coverage_percent = (100.0 * len(result.covered_lines) / result.line_count
                                    if result.line_count else 0.0)
-        all_bugs: List[BugReport] = []
+        all_bugs: List[BugReport] = list(self._base_bugs)
+        result.test_cases.extend(self._base_tests)
         for worker in members:
             all_bugs.extend(worker.bugs)
             result.test_cases.extend(worker.test_cases)
@@ -521,7 +645,7 @@ class Cloud9Cluster:
         integration tests by comparing explored paths against a single-node
         exhaustive run.)"""
         seen: Dict[Tuple[int, ...], int] = {}
-        for worker in self.workers:
+        for worker in self.workers + self._draining:
             for path in worker.frontier_paths():
                 if path in seen:
                     return False, ("path %s is a candidate on workers %d and %d"

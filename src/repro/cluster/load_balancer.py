@@ -19,7 +19,7 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass
-from typing import Dict, List, Tuple
+from typing import Dict, List, Optional, Tuple
 
 from repro.cluster.overlay import CoverageOverlay
 
@@ -60,8 +60,28 @@ class LoadBalancer:
 
     # -- worker membership -------------------------------------------------------
 
-    def register_worker(self, worker_id: int) -> None:
-        self.reports.setdefault(worker_id, WorkerReport(worker_id=worker_id))
+    def register_worker(self, worker_id: int,
+                        queue_length: Optional[int] = None) -> None:
+        """Enroll a worker; ``queue_length`` optionally seeds its report.
+
+        A worker joining mid-run has not sent a status update yet, so its
+        report would read as queue length 0 until the first one arrives --
+        skewing ``queue_length_spread()`` (and autoscaling decisions built
+        on it) and triggering transfers toward a member the balancer knows
+        nothing about.  Elastic joins therefore seed the report (typically
+        with the mean of the current queue lengths); the worker's first real
+        status update overwrites the seed with ground truth.
+        """
+        report = self.reports.setdefault(worker_id,
+                                         WorkerReport(worker_id=worker_id))
+        if queue_length is not None and report.round_received < 0:
+            report.queue_length = int(queue_length)
+
+    def mean_queue_length(self) -> float:
+        """Average reported queue length (0.0 with no reports)."""
+        if not self.reports:
+            return 0.0
+        return self.total_queue_length() / len(self.reports)
 
     def deregister_worker(self, worker_id: int) -> None:
         self.reports.pop(worker_id, None)

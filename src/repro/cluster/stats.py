@@ -103,6 +103,9 @@ class RoundSnapshot:
     paths_completed: int
     bugs_found: int
     load_balancing_enabled: bool
+    #: Live (exploring) workers this round -- the elastic-membership trace.
+    #: 0 on snapshots from before the field existed.
+    num_workers: int = 0
 
     @property
     def transfer_fraction(self) -> float:
@@ -135,6 +138,17 @@ class ClusterTimeline:
 
     def transfer_fraction_series(self) -> List[float]:
         return [snap.transfer_fraction for snap in self.snapshots]
+
+    def worker_count_series(self) -> List[int]:
+        """Live workers per round (flat for fixed clusters, the scaling
+        trace for autoscaled/elastic ones)."""
+        return [snap.num_workers for snap in self.snapshots]
+
+    def worker_rounds(self) -> int:
+        """Total worker-rounds consumed: the sum of live worker counts over
+        all rounds.  This is the run's capacity bill -- what an autoscaled
+        cluster is trying to keep below a fixed-size cluster's."""
+        return sum(snap.num_workers for snap in self.snapshots)
 
     def coverage_series(self) -> List[float]:
         return [snap.coverage_percent for snap in self.snapshots]

@@ -39,6 +39,7 @@ import time
 from dataclasses import dataclass
 from typing import Callable, Dict, List, Optional, Set, Tuple, Union
 
+from repro.cluster.autoscale import AutoscalePolicy, Autoscaler
 from repro.cluster.checkpoint import ClusterCheckpoint
 from repro.cluster.coordinator import ClusterResult, _dedupe_bugs
 from repro.cluster.jobs import Job, JobTree
@@ -60,6 +61,7 @@ from repro.distrib.messages import (
 from repro.distrib.worker import worker_main
 from repro.engine.errors import BugReport
 from repro.engine.limits import ExplorationLimits, effective_limits
+from repro.engine.test_case import TestCase
 from repro.solver.cache import aggregate_cache_counters
 
 __all__ = ["ProcessClusterConfig", "ProcessCloud9Cluster", "WorkerProcessError",
@@ -143,6 +145,16 @@ class ProcessClusterConfig:
     #: when ``checkpoint_path`` is set, saved there for ``resume_from=``.
     checkpoint_every: Optional[int] = None
     checkpoint_path: Optional[str] = None
+    #: Autoscaling policy driving elastic membership from the round hook
+    #: (None = fixed size; ``True`` = default :class:`AutoscalePolicy`).
+    #: ``num_workers`` is the *initial* size; the policy's min/max bound it
+    #: from there.
+    autoscale: Optional[AutoscalePolicy] = None
+    #: Jobs a retiring worker hands over per round: ``remove_worker`` keeps
+    #: the worker as a non-exploring *draining* member and exports at most
+    #: this many jobs per round until its frontier is empty, instead of
+    #: stalling the round on a synchronous whole-frontier drain.
+    drain_chunk: int = 16
 
     def __post_init__(self) -> None:
         if self.num_workers < 1:
@@ -155,6 +167,9 @@ class ProcessClusterConfig:
             raise ValueError("shutdown_timeout must be positive")
         if self.max_worker_failures is not None and self.max_worker_failures < 0:
             raise ValueError("max_worker_failures must be non-negative")
+        if self.drain_chunk < 1:
+            raise ValueError("drain_chunk must be positive")
+        self.autoscale = AutoscalePolicy.coerce(self.autoscale)
 
 
 class _WorkerHandle:
@@ -218,19 +233,33 @@ class ProcessCloud9Cluster:
         #: exercise elastic membership or inject failures mid-run.
         self.round_hook: Optional[
             Callable[[int, "ProcessCloud9Cluster"], None]] = None
+        #: The Autoscaler driving the current run (None unless
+        #: ``config.autoscale`` is set; fresh per ``run()`` call).
+        self.autoscaler: Optional[Autoscaler] = None
         #: Most recent checkpoint written by this run (None until the first).
         self.last_checkpoint: Optional[ClusterCheckpoint] = None
         self._next_worker_id = 1
         self._pending_recovery: List[RecoveryJob] = []
         self._pending_respawns = 0
+        # Workers retiring incrementally: still processes, no longer
+        # exploring or balanced; they export drain_chunk jobs per round.
+        self._draining: List[_WorkerHandle] = []
         self._departed_finals: List[FinalReply] = []
         self._result: Optional[ClusterResult] = None
+        # Elastic-membership accounting (reported on ClusterResult).
+        self._workers_added = 0
+        self._workers_removed = 0
+        self._peak_workers = 0
         # Carried-over counters when resuming from a checkpoint.
         self._base_paths = 0
         self._base_useful = 0
         self._base_replay = 0
+        self._base_wall = 0.0
         self._base_covered: Set[int] = set()
+        self._base_bugs: List[BugReport] = []
+        self._base_tests: List[TestCase] = []
         self._resumed_from_round: Optional[int] = None
+        self._run_started = 0.0
 
     # -- process management ------------------------------------------------------------
 
@@ -284,8 +313,15 @@ class ProcessCloud9Cluster:
 
     def _spawn_worker(self) -> _WorkerHandle:
         """Start one worker and wait for it (respawn / elastic join path)."""
+        # Seed the newcomer's balancer report with the mean queue length:
+        # until its first real status arrives, a fabricated zero would skew
+        # queue_length_spread() and draw spurious transfers (computed before
+        # registration so the newcomer's own empty report is excluded).
+        seed_length = round(self.load_balancer.mean_queue_length())
         handle = self._launch()
         self._check_ready(handle)
+        self.load_balancer.register_worker(handle.worker_id,
+                                           queue_length=seed_length)
         bits = self.load_balancer.overlay.global_vector.as_int()
         if bits:
             handle.pending_coverage_bits = bits
@@ -312,15 +348,17 @@ class ProcessCloud9Cluster:
             q.close()
 
     def _shutdown_workers(self) -> None:
-        for handle in self.handles:
+        everyone = self.handles + self._draining
+        for handle in everyone:
             if handle.process.is_alive():
                 try:
                     handle.command_queue.put(StopCommand())
                 except (OSError, ValueError):  # pragma: no cover - queue torn down
                     pass
-        for handle in self.handles:
+        for handle in everyone:
             self._cleanup_handle(handle)
         self.handles = []
+        self._draining = []
 
     # -- messaging ---------------------------------------------------------------------
 
@@ -355,22 +393,28 @@ class ProcessCloud9Cluster:
     # -- fault tolerance ----------------------------------------------------------------
 
     def _live_ids(self) -> Set[int]:
-        return {h.worker_id for h in self.handles}
+        return {h.worker_id for h in self.handles + self._draining}
 
     def _handle_failure(self, failure: _WorkerFailure, result: ClusterResult,
                         requeue: bool = True) -> None:
         """Mark a worker dead and stage its territory for recovery.
 
-        Raises :class:`WorkerProcessError` when the failure budget is
-        exhausted.  The staged recovery jobs (and the replacement worker,
-        under ``respawn=True``) materialize at the next
+        Covers live and draining members alike (a worker can die mid-drain;
+        its not-yet-exported territory is requeued from the ledger exactly
+        like any other death).  Raises :class:`WorkerProcessError` when the
+        failure budget is exhausted.  The staged recovery jobs (and the
+        replacement worker, under ``respawn=True``) materialize at the next
         :meth:`_flush_recovery` call -- a point where no commands are
         outstanding, so request/reply pairing stays intact.
         """
         handle = failure.handle
         if handle.worker_id not in self._live_ids():
             return  # already accounted
-        self.handles.remove(handle)
+        was_draining = handle in self._draining
+        if was_draining:
+            self._draining.remove(handle)
+        else:
+            self.handles.remove(handle)
         result.worker_failures += 1
         result.failed_worker_stats[handle.worker_id] = WorkerStats(
             worker_id=handle.worker_id,
@@ -388,7 +432,9 @@ class ProcessCloud9Cluster:
         if requeue:
             self._pending_recovery.extend(
                 self.ledger.recovery_jobs(handle.worker_id))
-            if self.config.respawn:
+            # A draining worker was leaving anyway: recover its territory
+            # but do not respawn a replacement for it.
+            if self.config.respawn and not was_draining:
                 self._pending_respawns += 1
         self.ledger.forget(handle.worker_id)
         self._cleanup_handle(handle)
@@ -447,6 +493,11 @@ class ProcessCloud9Cluster:
 
     # -- elastic membership (§2.3: workers join and leave mid-run) -----------------------
 
+    @property
+    def live_worker_ids(self) -> List[int]:
+        """Ids of the live (exploring) members, excluding draining ones."""
+        return [h.worker_id for h in self.handles]
+
     def add_worker(self) -> int:
         """Join a fresh worker process; the load balancer will feed it.
 
@@ -464,14 +515,23 @@ class ProcessCloud9Cluster:
             raise WorkerProcessError(
                 "worker %d %s while joining"
                 % (failure.handle.worker_id, failure.reason)) from None
+        self._workers_added += 1
+        self._peak_workers = max(self._peak_workers, len(self.handles))
         return handle.worker_id
 
     def remove_worker(self, worker_id: int) -> int:
-        """Retire a worker process, handing its frontier to the survivors.
+        """Start retiring a worker process, draining its frontier
+        incrementally.
 
-        The departed worker's results (paths, bugs, coverage, stats) still
-        count toward the final :class:`ClusterResult`.  Returns the number
-        of jobs handed over.
+        The worker immediately stops exploring and leaves the load
+        balancer's view, but keeps its process alive as a *draining* member:
+        each following round the coordinator exports at most ``drain_chunk``
+        of its jobs to the least-loaded survivor, and only once its frontier
+        is empty are its final results collected and the process stopped.
+        Removal therefore never stalls a round on a large frontier.  The
+        departed worker's results (paths, bugs, coverage, stats) still count
+        toward the final :class:`ClusterResult`.  Returns the number of jobs
+        handed over in the first drain chunk.
         """
         handle = next((h for h in self.handles if h.worker_id == worker_id),
                       None)
@@ -479,56 +539,86 @@ class ProcessCloud9Cluster:
             raise ValueError("no live worker with id %d" % worker_id)
         if len(self.handles) == 1:
             raise ValueError("cannot remove the last worker")
+        self.handles.remove(handle)
+        self._draining.append(handle)
+        self._workers_removed += 1
+        self.load_balancer.deregister_worker(worker_id)
+        return self._drain_handle(handle)
+
+    def _drain_handle(self, handle: _WorkerHandle) -> int:
+        """Export one drain chunk from a draining worker; retire it (collect
+        final results, stop the process) once its frontier is empty."""
         result = self._result
+        if not self.handles:
+            # Nobody to hand jobs to; try again once a survivor exists.
+            return 0
         try:
-            # Export everything, then collect its final results.
-            self._send(handle, ExportCommand(count=2 ** 30))
+            self._send(handle, ExportCommand(count=self.config.drain_chunk))
             export = self._receive(handle)
-            self._send(handle, FinalizeCommand())
-            final = self._receive(handle)
         except _WorkerFailure as failure:
-            # It died while retiring: recover its territory instead.
+            # Died mid-drain: its remaining territory is recovered from the
+            # ledger like any other worker death.
             if result is not None:
                 self._handle_failure(failure, result)
                 self._flush_recovery(result)
             return 0
-        self._departed_finals.append(final)
-        self.handles.remove(handle)
-        self.load_balancer.deregister_worker(worker_id)
-
-        handed_over = 0
-        try:
-            if export.encoded_jobs is not None:
-                target = min(self.handles, key=lambda h: h.queue_length)
-                paths = [job.path for job in
-                         JobTree.decode(export.encoded_jobs).jobs()]
-                for path in paths:
-                    self.ledger.cede(worker_id, path)
-                    # Acquire before the import so a target that dies
-                    # mid-handover is recovered with these jobs included.
-                    self.ledger.acquire(target.worker_id, path)
-                try:
-                    self._send(target, ImportCommand(
-                        encoded_jobs=export.encoded_jobs))
-                    reply = self._receive(target)
-                except _WorkerFailure as failure:
-                    if result is not None:
-                        self._handle_failure(failure, result)
-                        self._flush_recovery(result)
-                else:
-                    target.queue_length += reply.imported
-                    handed_over = reply.imported
-                    report = self.load_balancer.reports.get(target.worker_id)
-                    if report is not None:
-                        report.queue_length = target.queue_length
-        finally:
-            self.ledger.forget(worker_id)
+        moved = 0
+        if export.encoded_jobs is not None and self.handles:
+            target = min(self.handles, key=lambda h: h.queue_length)
+            paths = [job.path for job in
+                     JobTree.decode(export.encoded_jobs).jobs()]
+            for path in paths:
+                self.ledger.cede(handle.worker_id, path)
+                # Acquire before the import so a target that dies
+                # mid-handover is recovered with these jobs included.
+                self.ledger.acquire(target.worker_id, path)
             try:
-                self._send(handle, StopCommand())
-            except (OSError, ValueError):  # pragma: no cover - queue torn down
-                pass
-            self._cleanup_handle(handle)
-        return handed_over
+                self._send(target, ImportCommand(
+                    encoded_jobs=export.encoded_jobs))
+                reply = self._receive(target)
+            except _WorkerFailure as failure:
+                if result is not None:
+                    self._handle_failure(failure, result)
+                    self._flush_recovery(result)
+            else:
+                target.queue_length += reply.imported
+                moved = reply.imported
+                report = self.load_balancer.reports.get(target.worker_id)
+                if report is not None:
+                    report.queue_length = target.queue_length
+        # An export smaller than the chunk means the frontier is empty now.
+        if export.job_count < self.config.drain_chunk:
+            handle.queue_length = 0
+        else:
+            handle.queue_length = max(0, handle.queue_length
+                                      - export.job_count)
+        if handle.queue_length == 0:
+            self._retire_draining(handle)
+        return moved
+
+    def _advance_drains(self) -> None:
+        for handle in list(self._draining):
+            self._drain_handle(handle)
+
+    def _retire_draining(self, handle: _WorkerHandle) -> None:
+        """Collect a drained worker's final results and stop its process."""
+        try:
+            self._send(handle, FinalizeCommand())
+            final = self._receive(handle)
+        except _WorkerFailure as failure:
+            if self._result is not None:
+                self._handle_failure(failure, self._result)
+                self._flush_recovery(self._result)
+            return
+        self._departed_finals.append(final)
+        if handle in self._draining:
+            self._draining.remove(handle)
+        self.ledger.forget(handle.worker_id)
+        try:
+            self._send(handle, StopCommand())
+        except (OSError, ValueError):  # pragma: no cover - queue torn down
+            pass
+        self._cleanup_handle(handle)
 
     # -- helpers -----------------------------------------------------------------------
 
@@ -541,7 +631,9 @@ class ProcessCloud9Cluster:
         return True
 
     def _total_candidates(self) -> int:
-        return sum(h.queue_length for h in self.handles)
+        # Draining workers' outstanding jobs count: they are still part of
+        # the global frontier (survivors receive them chunk by chunk).
+        return sum(h.queue_length for h in self.handles + self._draining)
 
     def _apply_status(self, handle: _WorkerHandle, status: StatusReply) -> None:
         handle.queue_length = status.queue_length
@@ -555,11 +647,22 @@ class ProcessCloud9Cluster:
     def _write_checkpoint(self, round_index: int,
                           statuses: Dict[int, StatusReply]) -> ClusterCheckpoint:
         frontier: List[Tuple[int, ...]] = []
+        # Frontiers come from every status: a worker that finished draining
+        # after the statuses were collected listed its final chunk's jobs,
+        # which the receiving survivor's (earlier) status does not -- the
+        # union still holds each job exactly once.
         for status in statuses.values():
             if status.frontier is None:
                 continue
             frontier.extend(job.path
                             for job in JobTree.decode(status.frontier).jobs())
+        # Counters and results are different: a member retired between
+        # status collection and this snapshot already moved its totals into
+        # _departed_finals, so summing its status too would double count.
+        active_ids = {h.worker_id for h in self.handles + self._draining}
+        statuses = {worker_id: status
+                    for worker_id, status in statuses.items()
+                    if worker_id in active_ids}
         departed_paths = sum(f.paths_completed for f in self._departed_finals)
         departed_useful = sum(f.stats.useful_instructions
                               for f in self._departed_finals)
@@ -571,6 +674,17 @@ class ProcessCloud9Cluster:
         coverage_bits = self.load_balancer.overlay.global_vector.as_int()
         for status in statuses.values():
             coverage_bits |= status.coverage_bits
+        # Self-contained resume: bug reports and generated inputs found
+        # before the snapshot travel with it (workers attach them to their
+        # status replies on checkpoint rounds only).
+        bugs = list(self._base_bugs)
+        test_cases = list(self._base_tests)
+        for final in self._departed_finals:
+            bugs.extend(final.bugs)
+            test_cases.extend(final.test_cases)
+        for status in statuses.values():
+            bugs.extend(status.bugs or ())
+            test_cases.extend(status.test_cases or ())
         checkpoint = ClusterCheckpoint(
             round_index=round_index,
             frontier_paths=sorted(frontier),
@@ -585,6 +699,12 @@ class ProcessCloud9Cluster:
             replay_instructions=(self._base_replay + departed_replay
                                  + sum(s.replay_instructions
                                        for s in statuses.values())),
+            wall_time=(self._base_wall
+                       + (time.monotonic() - self._run_started)),
+            bug_reports=[ClusterCheckpoint.encode_bug(b)
+                         for b in _dedupe_bugs(bugs)],
+            test_cases=[ClusterCheckpoint.encode_test_case(t)
+                        for t in test_cases],
             worker_stats={
                 worker_id: {
                     "useful_instructions": s.useful_instructions,
@@ -640,7 +760,10 @@ class ProcessCloud9Cluster:
         self._base_paths = checkpoint.paths_completed
         self._base_useful = checkpoint.useful_instructions
         self._base_replay = checkpoint.replay_instructions
+        self._base_wall = checkpoint.wall_time
         self._base_covered = checkpoint.covered_lines()
+        self._base_bugs = checkpoint.decode_bugs()
+        self._base_tests = checkpoint.decode_test_cases()
         self._resumed_from_round = checkpoint.round_index
 
     # -- main loop ---------------------------------------------------------------------
@@ -682,8 +805,12 @@ class ProcessCloud9Cluster:
                                line_count=self.line_count)
         self._result = result
         start = time.monotonic()
+        self._run_started = start
+        self.autoscaler = (Autoscaler(config.autoscale)
+                           if config.autoscale is not None else None)
 
         self._start_workers()
+        self._peak_workers = max(self._peak_workers, len(self.handles))
         if resume_from is not None:
             self._restore(resume_from, result)
         else:
@@ -702,16 +829,25 @@ class ProcessCloud9Cluster:
         while round_index < limit:
             if self.round_hook is not None:
                 self.round_hook(round_index, self)
+            if self.autoscaler is not None:
+                self.autoscaler(round_index, self)
             if not self.handles:
                 raise WorkerProcessError("no live workers left")
+            self._peak_workers = max(self._peak_workers, len(self.handles))
             balancing = self._balancing_active(round_index)
+            # Unified checkpoint cadence across backends: a snapshot lands
+            # after every checkpoint_every *completed* rounds.
             checkpoint_due = bool(
                 config.checkpoint_every
                 and (round_index + 1) % config.checkpoint_every == 0)
             failures_before = result.worker_failures
 
             # 1. One round of exploration, concurrently across processes.
+            # Draining members take part with a zero budget: they no longer
+            # explore, but their status replies keep queue lengths fresh and
+            # carry their frontier into checkpoints.
             round_handles = list(self.handles)
+            drain_handles = list(self._draining)
             previous = {h.worker_id: (h.useful_instructions,
                                       h.replay_instructions)
                         for h in round_handles}
@@ -721,6 +857,9 @@ class ProcessCloud9Cluster:
                     global_coverage_bits=handle.pending_coverage_bits,
                     report_frontier=checkpoint_due))
                 handle.pending_coverage_bits = None
+            for handle in drain_handles:
+                self._send(handle, ExploreCommand(
+                    budget=0, report_frontier=checkpoint_due))
             statuses: Dict[int, StatusReply] = {}
             useful_delta = 0
             replay_delta = 0
@@ -735,12 +874,22 @@ class ProcessCloud9Cluster:
                 useful_delta += status.useful_instructions - prev_useful
                 replay_delta += status.replay_instructions - prev_replay
                 self._apply_status(handle, status)
+            for handle in drain_handles:
+                try:
+                    status = self._receive(handle)
+                except _WorkerFailure as failure:
+                    self._handle_failure(failure, result)
+                    continue
+                statuses[handle.worker_id] = status
+                self._apply_status(handle, status)
             # Requeue dead workers' territories / respawn replacements now
             # that every outstanding command has been resolved.
             self._flush_recovery(result)
             instructions_executed += useful_delta + replay_delta
 
-            # 2. Status updates into the load balancer + coverage merge.
+            # 2. Status updates into the load balancer + coverage merge
+            # (live members only: draining workers left the balancer's view
+            # when their removal began).
             if round_index % config.status_update_interval == 0:
                 for handle in self.handles:
                     status = statuses.get(handle.worker_id)
@@ -754,21 +903,25 @@ class ProcessCloud9Cluster:
                         round_index=round_index)
                     handle.pending_coverage_bits = merged_bits
 
-            # 3. Balancing decisions and synchronous job transfers.
+            # 3. Balancing decisions and synchronous job transfers, then one
+            # drain chunk from every retiring member.
             states_transferred = 0
             if balancing and round_index % config.balance_interval == 0:
                 for command in self.load_balancer.balance(round_index):
                     states_transferred += self._execute_transfer(command, result)
+            self._advance_drains()
 
             # 4. Record the round.
             covered_count = self.load_balancer.overlay.covered_count
             coverage_percent = (100.0 * covered_count / self.line_count
                                 if self.line_count else 0.0)
             paths_completed = (self._base_paths
-                               + sum(h.paths_completed for h in self.handles)
+                               + sum(h.paths_completed
+                                     for h in self.handles + self._draining)
                                + sum(f.paths_completed
                                      for f in self._departed_finals))
-            bugs_found = sum(h.bugs_found for h in self.handles)
+            bugs_found = sum(h.bugs_found
+                             for h in self.handles + self._draining)
             result.timeline.record(RoundSnapshot(
                 round_index=round_index,
                 queue_lengths={h.worker_id: h.queue_length for h in self.handles},
@@ -781,6 +934,7 @@ class ProcessCloud9Cluster:
                 paths_completed=paths_completed,
                 bugs_found=bugs_found,
                 load_balancing_enabled=balancing,
+                num_workers=len(self.handles),
             ))
             result.total_states_transferred += states_transferred
             round_index += 1
@@ -813,7 +967,9 @@ class ProcessCloud9Cluster:
                     and time.monotonic() - start >= lim.max_wall_time):
                 break
 
-        result.wall_time = time.monotonic() - start
+        # Cumulative across resume_from= segments: the checkpoint carries the
+        # wall time already spent, this run adds its own elapsed time.
+        result.wall_time = self._base_wall + (time.monotonic() - start)
         return self._finalize(result, round_index)
 
     def _execute_transfer(self, command, result: ClusterResult) -> int:
@@ -864,7 +1020,10 @@ class ProcessCloud9Cluster:
 
     def _finalize(self, result: ClusterResult, rounds: int) -> ClusterResult:
         finals: List[FinalReply] = []
-        for handle in list(self.handles):
+        # Members still draining when the run ends are finalized like live
+        # ones: their results count, and any jobs left on them were already
+        # counted as unexplored candidates by the termination checks.
+        for handle in list(self.handles) + list(self._draining):
             try:
                 self._send(handle, FinalizeCommand())
                 finals.append(self._receive(handle))
@@ -876,6 +1035,9 @@ class ProcessCloud9Cluster:
         result.num_workers = len(self.handles) or result.num_workers
         result.rounds_executed = rounds
         result.resumed_from_round = self._resumed_from_round
+        result.workers_added = self._workers_added
+        result.workers_removed = self._workers_removed
+        result.peak_workers = max(self._peak_workers, len(self.handles))
         result.paths_completed = (self._base_paths
                                   + sum(f.paths_completed for f in finals))
         result.total_useful_instructions = self._base_useful + sum(
@@ -883,7 +1045,8 @@ class ProcessCloud9Cluster:
         result.total_replay_instructions = self._base_replay + sum(
             f.stats.replay_instructions for f in finals)
         covered: Set[int] = set(self._base_covered)
-        all_bugs: List[BugReport] = []
+        all_bugs: List[BugReport] = list(self._base_bugs)
+        result.test_cases.extend(self._base_tests)
         for final in finals:
             covered.update(final.covered_lines)
             all_bugs.extend(final.bugs)

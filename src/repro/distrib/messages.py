@@ -115,6 +115,11 @@ class StatusReply:
     #: Encoded JobTree of the worker's candidate paths; present only when
     #: the coordinator asked for it (checkpoint rounds).
     frontier: Optional[object] = None
+    #: Bug reports and generated test cases found so far; attached only on
+    #: checkpoint rounds (``report_frontier``) so snapshots are
+    #: self-contained without inflating the steady-state wire cost.
+    bugs: Optional[Tuple[BugReport, ...]] = None
+    test_cases: Optional[Tuple[TestCase, ...]] = None
 
 
 @dataclass(frozen=True)

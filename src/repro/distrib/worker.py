@@ -73,9 +73,16 @@ class DistribWorker:
     def status(self, include_frontier: bool = False) -> StatusReply:
         worker = self.worker
         frontier = None
+        bugs = None
+        test_cases = None
         if include_frontier:
             frontier = JobTree.from_jobs(
                 [Job(path) for path in sorted(worker.frontier_paths())]).encode()
+            # Checkpoint rounds only: ship the results found so far so the
+            # snapshot is self-contained (a resumed run never re-explores
+            # the completed paths these came from).
+            bugs = tuple(worker.bugs)
+            test_cases = tuple(worker.test_cases)
         return StatusReply(
             worker_id=self.worker_id,
             queue_length=worker.queue_length,
@@ -86,6 +93,8 @@ class DistribWorker:
             bugs_found=len(worker.bugs),
             broken_replays=worker.stats.broken_replays,
             frontier=frontier,
+            bugs=bugs,
+            test_cases=test_cases,
         )
 
     def _explore(self, command: ExploreCommand) -> StatusReply:

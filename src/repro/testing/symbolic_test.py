@@ -119,7 +119,10 @@ class SymbolicTest:
         ``resume_from=`` a :class:`~repro.cluster.checkpoint.ClusterCheckpoint`
         or saved checkpoint path for the ``"cluster"``/``"threaded"``/
         ``"process"`` backends, paired with the ``checkpoint_every=`` /
-        ``checkpoint_path=`` config knobs that produce the checkpoints).
+        ``checkpoint_path=`` config knobs that produce the checkpoints;
+        ``autoscale=`` an :class:`~repro.cluster.autoscale.AutoscalePolicy`
+        (or ``True`` for the defaults) to let those same backends grow and
+        shrink the cluster mid-run from queue pressure and round wall time).
         """
         from repro.api.runner import run_test
         return run_test(self, backend=backend, limits=limits, **options)

@@ -1,0 +1,716 @@
+"""Autoscaling elastic clusters and the incremental drain (§2.3).
+
+Covers the :mod:`repro.cluster.autoscale` policy engine (band/spread/
+wall-time signals, hysteresis, cooldown, min/max clamps), the chunked
+``remove_worker`` drain on both backends, the load balancer's membership-
+churn hygiene (report seeding on join, atomic purge on leave), the unified
+checkpoint cadence, and cumulative accounting (wall time, pre-crash bugs)
+across ``resume_from=``.
+"""
+
+import multiprocessing
+
+import pytest
+
+from repro import lang as L
+from repro.api import ExplorationLimits
+from repro.cluster.autoscale import AutoscalePolicy, Autoscaler
+from repro.cluster.checkpoint import ClusterCheckpoint
+from repro.cluster.coordinator import ClusterConfig
+from repro.cluster.load_balancer import LoadBalancer
+from repro.cluster.transport import LOAD_BALANCER_ID, Message, MessageKind
+from repro.distrib import specs
+from repro.distrib.cluster import ProcessCloud9Cluster, ProcessClusterConfig
+from repro.engine.errors import BugKind, BugReport
+from repro.engine.test_case import TestCase
+from repro.testing.symbolic_test import SymbolicTest
+
+LIMITS = ExplorationLimits(max_rounds=500)
+
+fork_available = "fork" in multiprocessing.get_all_start_methods()
+needs_fork = pytest.mark.skipif(
+    not fork_available,
+    reason="runtime-registered specs reach child processes only under fork")
+
+
+def _buggy_program(buffer_size=3):
+    """branchy plus a deterministic assertion bug on the all-'A' paths."""
+    return L.program(
+        "as-buggy",
+        L.func(
+            "main", [],
+            L.decl("buf", L.call("cloud9_symbolic_buffer", buffer_size,
+                                 L.strconst("input"))),
+            L.decl("i", 0),
+            L.decl("acc", 0),
+            L.while_(L.lt(L.var("i"), buffer_size),
+                L.decl("c", L.index(L.var("buf"), L.var("i"))),
+                L.if_(L.eq(L.var("c"), ord("A")),
+                      [L.assign("acc", L.add(L.var("acc"), 1))],
+                      [L.if_(L.eq(L.var("c"), ord("B")),
+                             [L.assign("acc", L.add(L.var("acc"), 3))])]),
+                L.assign("i", L.add(L.var("i"), 1)),
+            ),
+            L.assert_(L.ne(L.var("acc"), buffer_size), "all-A input"),
+            L.ret(L.var("acc")),
+        ),
+    )
+
+
+def _buggy_test(buffer_size=3):
+    return SymbolicTest(name="as-buggy", program=_buggy_program(buffer_size),
+                        use_posix_model=False)
+
+
+# Registered at import time: "fork" children inherit the registry.
+specs.register_spec("test-as-buggy", _buggy_test, replace=True)
+
+
+# -- policy signals ---------------------------------------------------------------------
+
+
+class TestAutoscalePolicy:
+    def test_validation(self):
+        with pytest.raises(ValueError, match="min_workers"):
+            AutoscalePolicy(min_workers=0)
+        with pytest.raises(ValueError, match="max_workers"):
+            AutoscalePolicy(min_workers=4, max_workers=2)
+        with pytest.raises(ValueError, match="queue_low"):
+            AutoscalePolicy(queue_low=5.0, queue_high=5.0)
+        with pytest.raises(ValueError, match="hysteresis"):
+            AutoscalePolicy(hysteresis_rounds=0)
+        with pytest.raises(ValueError, match="cooldown"):
+            AutoscalePolicy(cooldown_rounds=-1)
+        with pytest.raises(ValueError, match="scale_step"):
+            AutoscalePolicy(scale_step=0)
+
+    def test_grow_on_queue_band(self):
+        policy = AutoscalePolicy(queue_high=4.0, queue_low=1.0, max_workers=8)
+        assert policy.signal(num_workers=2, total_queue=20, spread=(8, 12)) == 1
+
+    def test_grow_on_spread(self):
+        policy = AutoscalePolicy(queue_high=100.0, queue_low=0.1,
+                                 spread_threshold=5)
+        assert policy.signal(num_workers=2, total_queue=10, spread=(0, 10)) == 1
+        assert policy.signal(num_workers=2, total_queue=10, spread=(4, 6)) == 0
+
+    def test_grow_on_round_wall_time(self):
+        policy = AutoscalePolicy(queue_high=100.0, queue_low=0.1,
+                                 round_wall_time_ceiling=0.5)
+        assert policy.signal(num_workers=2, total_queue=10, spread=(5, 5),
+                             round_wall_time=1.0) == 1
+        assert policy.signal(num_workers=2, total_queue=10, spread=(5, 5),
+                             round_wall_time=0.1) == 0
+        # No measurement yet (first round): never a growth signal.
+        assert policy.signal(num_workers=2, total_queue=10, spread=(5, 5),
+                             round_wall_time=None) == 0
+
+    def test_shrink_on_idle_band(self):
+        policy = AutoscalePolicy(queue_high=8.0, queue_low=2.0, min_workers=1)
+        assert policy.signal(num_workers=4, total_queue=2, spread=(0, 1)) == -1
+
+    def test_clamped_at_min_and_max(self):
+        policy = AutoscalePolicy(min_workers=2, max_workers=4,
+                                 queue_high=4.0, queue_low=1.0)
+        # At the ceiling a grow signal reads as hold (streaks reset).
+        assert policy.signal(num_workers=4, total_queue=100, spread=(20, 30)) == 0
+        # At the floor a shrink signal reads as hold.
+        assert policy.signal(num_workers=2, total_queue=0, spread=(0, 0)) == 0
+
+    def test_hold_inside_band(self):
+        policy = AutoscalePolicy(queue_high=8.0, queue_low=2.0)
+        assert policy.signal(num_workers=2, total_queue=10, spread=(4, 6)) == 0
+
+
+# -- the driver, against a scripted fake cluster ----------------------------------------
+
+
+class _FakeCluster:
+    """Just enough surface for an Autoscaler: LB + membership calls."""
+
+    def __init__(self, queue_lengths):
+        self.load_balancer = LoadBalancer(line_count=10)
+        self._next_id = 1
+        self.round_hook = None
+        for length in queue_lengths:
+            self.load_balancer.receive_status(
+                self._next_id, queue_length=length, useful_instructions=0,
+                coverage_bits=0, round_index=0)
+            self._next_id += 1
+        self.added = []
+        self.removed = []
+
+    @property
+    def live_worker_ids(self):
+        return sorted(self.load_balancer.reports)
+
+    def add_worker(self):
+        worker_id = self._next_id
+        self._next_id += 1
+        self.load_balancer.receive_status(worker_id, queue_length=0,
+                                          useful_instructions=0,
+                                          coverage_bits=0, round_index=0)
+        self.added.append(worker_id)
+        return worker_id
+
+    def remove_worker(self, worker_id):
+        self.load_balancer.deregister_worker(worker_id)
+        self.removed.append(worker_id)
+
+    def set_queues(self, lengths_by_id):
+        for worker_id, length in lengths_by_id.items():
+            self.load_balancer.reports[worker_id].queue_length = length
+
+
+def _ticker(scaler, cluster):
+    """Advance the autoscaler one round at a time."""
+    state = {"round": 0}
+
+    def tick():
+        scaler(state["round"], cluster)
+        state["round"] += 1
+
+    return tick
+
+
+class TestAutoscaler:
+    def _scaler(self, **kw):
+        kw.setdefault("cooldown_rounds", 0)
+        kw.setdefault("hysteresis_rounds", 1)
+        return Autoscaler(AutoscalePolicy(**kw))
+
+    def test_grows_under_sustained_pressure_only(self):
+        cluster = _FakeCluster([20, 20])
+        scaler = Autoscaler(AutoscalePolicy(queue_high=4.0, queue_low=1.0,
+                                            cooldown_rounds=0,
+                                            hysteresis_rounds=3))
+        tick = _ticker(scaler, cluster)
+        tick(); tick()
+        assert cluster.added == []  # hysteresis not yet satisfied
+        tick()
+        assert len(cluster.added) == 1
+        assert scaler.workers_added == 1
+        assert scaler.decisions == [(2, "grow", 1)]
+
+    def test_transient_spike_resets_the_streak(self):
+        cluster = _FakeCluster([20, 20])
+        scaler = Autoscaler(AutoscalePolicy(queue_high=4.0, queue_low=1.0,
+                                            cooldown_rounds=0,
+                                            hysteresis_rounds=2))
+        tick = _ticker(scaler, cluster)
+        tick()
+        cluster.set_queues({1: 3, 2: 3})  # pressure vanished
+        tick()
+        cluster.set_queues({1: 20, 2: 20})
+        tick()
+        assert cluster.added == []  # the streak restarted from scratch
+
+    def test_cooldown_blocks_the_next_action(self):
+        cluster = _FakeCluster([20, 20])
+        scaler = Autoscaler(AutoscalePolicy(queue_high=4.0, queue_low=1.0,
+                                            cooldown_rounds=3,
+                                            hysteresis_rounds=1))
+        tick = _ticker(scaler, cluster)
+        # Initial cooldown guards the ramp-up rounds.
+        tick(); tick(); tick()
+        assert cluster.added == []
+        tick()
+        assert len(cluster.added) == 1
+        tick(); tick(); tick()  # cooldown again
+        assert len(cluster.added) == 1
+        tick()
+        assert len(cluster.added) == 2
+
+    def test_respects_max_workers(self):
+        cluster = _FakeCluster([20, 20])
+        scaler = self._scaler(queue_high=4.0, queue_low=1.0, max_workers=3)
+        tick = _ticker(scaler, cluster)
+        for _ in range(6):
+            tick()
+        assert len(cluster.live_worker_ids) == 3  # grew 2 -> 3, then clamped
+
+    def test_shrinks_idle_cluster_to_min_removing_emptiest(self):
+        cluster = _FakeCluster([0, 5, 0])
+        scaler = self._scaler(queue_high=50.0, queue_low=3.0, min_workers=1)
+        tick = _ticker(scaler, cluster)
+        tick()
+        assert cluster.removed == [1]  # smallest queue, lowest id
+        tick()  # average 5/2 still under the low-water mark
+        assert cluster.removed == [1, 3]
+        tick(); tick()
+        assert cluster.removed == [1, 3]  # min_workers floor
+        assert scaler.workers_removed == 2
+
+    def test_install_chains_after_existing_hook(self):
+        cluster = _FakeCluster([20, 20])
+        calls = []
+        cluster.round_hook = lambda r, c: calls.append(r)
+        scaler = self._scaler(queue_high=4.0, queue_low=1.0)
+        scaler.install(cluster)
+        cluster.round_hook(0, cluster)
+        assert calls == [0]
+        assert len(cluster.added) == 1  # the autoscaler ran after the hook
+
+
+# -- in-process integration --------------------------------------------------------------
+
+
+class TestInProcessAutoscale:
+    @pytest.fixture(scope="class")
+    def fixed(self):
+        test = _buggy_test()
+        result = test.run(backend="cluster", workers=4,
+                          instructions_per_round=30, limits=LIMITS)
+        assert result.exhausted and result.found_bug
+        return result
+
+    def test_autoscaled_run_matches_fixed_size_run(self, fixed):
+        test = _buggy_test()
+        policy = AutoscalePolicy(min_workers=1, max_workers=4,
+                                 queue_high=3.0, queue_low=1.0,
+                                 cooldown_rounds=1, hysteresis_rounds=1)
+        result = test.run(backend="cluster", workers=1,
+                          instructions_per_round=30, autoscale=policy,
+                          limits=LIMITS)
+        assert result.exhausted
+        # Deterministic target: elasticity must not change the outcome.
+        assert result.paths_completed == fixed.paths_completed
+        assert result.covered_lines == fixed.covered_lines
+        assert result.bug_summaries() == fixed.bug_summaries()
+        # ...but the capacity bill must reflect the ramp-up.
+        assert result.workers_added >= 1
+        assert result.peak_workers <= 4
+        assert result.worker_rounds < fixed.worker_rounds
+        trace = result.timeline.worker_count_series()
+        assert trace[0] == 1 and max(trace) == result.peak_workers
+
+    def test_autoscale_true_uses_default_policy(self):
+        config = ClusterConfig(num_workers=2, autoscale=True)
+        assert isinstance(config.autoscale, AutoscalePolicy)
+        with pytest.raises(TypeError, match="autoscale"):
+            ClusterConfig(autoscale="yes")
+
+    def test_scale_down_of_last_removable_worker(self):
+        """Shrinking stops at min_workers=1: the final surviving worker
+        absorbs every drained job and finishes alone."""
+        test = _buggy_test()
+        policy = AutoscalePolicy(min_workers=1, max_workers=4,
+                                 queue_high=10_000.0, queue_low=10.0,
+                                 cooldown_rounds=0, hysteresis_rounds=1)
+        cluster = test.build_cluster(
+            ClusterConfig(num_workers=3, instructions_per_round=30,
+                          autoscale=policy, drain_chunk=2))
+        result = cluster.run(limits=LIMITS)
+        assert result.exhausted
+        assert result.num_workers == 1
+        assert result.workers_removed == 2
+        single = test.run(backend="single", limits=ExplorationLimits())
+        assert result.paths_completed == single.paths_completed
+
+    def test_autoscaled_threaded_backend(self, fixed):
+        test = _buggy_test()
+        policy = AutoscalePolicy(min_workers=1, max_workers=3,
+                                 queue_high=3.0, queue_low=1.0,
+                                 cooldown_rounds=1, hysteresis_rounds=1)
+        result = test.run(backend="threaded", workers=1,
+                          instructions_per_round=30, autoscale=policy,
+                          limits=LIMITS)
+        assert result.exhausted
+        assert result.paths_completed == fixed.paths_completed
+        assert result.workers_added >= 1
+
+
+# -- incremental drain -------------------------------------------------------------------
+
+
+class TestIncrementalDrain:
+    def test_drain_spans_rounds_without_losing_paths(self):
+        """With drain_chunk=1 a removal takes as many rounds as the worker
+        had jobs; the worker stays a draining member meanwhile and every
+        path still gets explored exactly once."""
+        test = _buggy_test()
+        cluster = test.build_cluster(
+            ClusterConfig(num_workers=3, instructions_per_round=30,
+                          drain_chunk=1))
+        observed = {"draining_rounds": 0, "removed_at": None,
+                    "victim_queue": 0}
+
+        def hook(round_index, cl):
+            if observed["removed_at"] is None and round_index >= 3:
+                victim = max(cl.workers, key=lambda w: w.queue_length)
+                if victim.queue_length >= 3 and len(cl.workers) > 1:
+                    observed["removed_at"] = round_index
+                    observed["victim_queue"] = victim.queue_length
+                    cl.remove_worker(victim.worker_id)
+            if cl._draining:
+                observed["draining_rounds"] += 1
+                ok, message = cl.check_frontier_invariants()
+                assert ok, message
+
+        cluster.round_hook = hook
+        result = cluster.run(limits=LIMITS)
+        assert observed["removed_at"] is not None, \
+            "no worker accumulated enough queue; tune the budgets"
+        # One job left at remove time; the rest drained round by round.
+        assert observed["draining_rounds"] >= observed["victim_queue"] - 2
+        assert result.exhausted
+        assert result.workers_removed == 1
+        assert result.num_workers == 2
+        single = test.run(backend="single", limits=ExplorationLimits())
+        assert result.paths_completed == single.paths_completed
+
+    def test_empty_worker_departs_immediately(self):
+        test = _buggy_test()
+        cluster = test.build_cluster(
+            ClusterConfig(num_workers=2, instructions_per_round=30))
+        # Worker 2 never got jobs yet: removal completes synchronously.
+        assert cluster.workers[1].queue_length == 0
+        cluster.remove_worker(2)
+        assert cluster._draining == []
+        assert [w.worker_id for w in cluster._departed] == [2]
+
+    def test_remove_guards_unchanged(self):
+        test = _buggy_test()
+        cluster = test.build_cluster(ClusterConfig(num_workers=1))
+        with pytest.raises(ValueError, match="last worker"):
+            cluster.remove_worker(1)
+        with pytest.raises(ValueError, match="no live worker"):
+            cluster.remove_worker(99)
+
+
+# -- load balancer hygiene under membership churn ----------------------------------------
+
+
+class TestMembershipChurnHygiene:
+    def test_register_seed_is_overwritten_by_real_status(self):
+        lb = LoadBalancer(line_count=10)
+        lb.receive_status(1, queue_length=10, useful_instructions=0,
+                          coverage_bits=0, round_index=0)
+        lb.register_worker(2, queue_length=10)
+        assert lb.reports[2].queue_length == 10
+        lb.receive_status(2, queue_length=0, useful_instructions=0,
+                          coverage_bits=0, round_index=1)
+        assert lb.reports[2].queue_length == 0
+        # Seeding never clobbers a report that already has ground truth.
+        lb.register_worker(2, queue_length=7)
+        assert lb.reports[2].queue_length == 0
+
+    def test_add_then_balance_before_first_status(self):
+        """Regression: a just-added worker's fabricated zero-length report
+        used to skew queue_length_spread() and draw a transfer before the
+        balancer had heard from it even once."""
+        test = _buggy_test()
+        cluster = test.build_cluster(
+            ClusterConfig(num_workers=2, instructions_per_round=30))
+        cluster.run(limits=ExplorationLimits(max_rounds=4))
+        lb = cluster.load_balancer
+        lengths_before = {w: lb.reports[w].queue_length
+                          for w in lb.worker_ids}
+        spread_before = lb.queue_length_spread()
+        new_id = cluster.add_worker()
+        # The newcomer is seeded with the mean, not zero...
+        assert lb.reports[new_id].queue_length == round(
+            sum(lengths_before.values()) / len(lengths_before))
+        # ...so the spread the autoscaler reads is not skewed to (0, max)...
+        low, high = lb.queue_length_spread()
+        assert low >= min(min(lengths_before.values()),
+                          lb.reports[new_id].queue_length)
+        assert (low, high) != (0, spread_before[1]) or spread_before[0] == 0
+        # ...and balance() does not fire a transfer at it on fabricated data.
+        assert all(command.destination != new_id for command in lb.balance())
+
+    def test_remove_with_inflight_transfer_purges_atomically(self):
+        """Regression: a TRANSFER_REQUEST still on the wire naming the
+        departing worker must be cancelled with the balancer's estimates
+        rolled back, and a JOB_TRANSFER already addressed to it must be
+        re-routed with the receiving survivor's estimate credited."""
+        test = _buggy_test()
+        cluster = test.build_cluster(
+            ClusterConfig(num_workers=2, instructions_per_round=30))
+        cluster.run(limits=ExplorationLimits(max_rounds=4))
+        lb = cluster.load_balancer
+        survivor = cluster.workers[0]
+        victim = cluster.workers[1].worker_id
+        source_id = survivor.worker_id
+        assert survivor.queue_length >= 2, "tune budgets: survivor is idle"
+        # A transfer decision naming the victim as destination, in flight.
+        lb.reports[source_id].queue_length = 8
+        lb.reports[victim].queue_length = 0
+        (command,) = lb.balance()
+        assert command.source == source_id and command.destination == victim
+        cluster.transport.send(Message(
+            kind=MessageKind.TRANSFER_REQUEST,
+            sender=LOAD_BALANCER_ID, recipient=command.source,
+            payload={"destination": command.destination,
+                     "job_count": command.job_count}))
+        debited = lb.reports[source_id].queue_length
+        assert debited == 8 - command.job_count
+        # And a job tree already on the wire to the victim.
+        jobs = survivor.export_jobs(1)
+        assert len(jobs) == 1
+        cluster.transport.send(Message(
+            kind=MessageKind.JOB_TRANSFER, sender=source_id,
+            recipient=victim, payload={"jobs": jobs.encode(),
+                                       "count": len(jobs)}))
+
+        handed = cluster.remove_worker(victim)
+        # Report purged atomically; the cancelled request's estimate rolled
+        # back on the source; the re-routed job tree AND the victim's own
+        # drained jobs credited to the survivor that received them.
+        assert victim not in lb.reports
+        assert (lb.reports[source_id].queue_length
+                == debited + command.job_count + 1 + handed)
+        # No message addressed to the victim survives anywhere.
+        assert cluster.transport.pending_count(victim) == 0
+        # The re-routed job landed on the survivor, not in the void: the
+        # run still explores every path exactly once.
+        result = cluster.run(limits=LIMITS)
+        assert result.exhausted
+        single = test.run(backend="single", limits=ExplorationLimits())
+        assert result.paths_completed == single.paths_completed
+
+
+# -- checkpoint cadence ------------------------------------------------------------------
+
+
+class TestCheckpointCadence:
+    """Both backends snapshot after every N *completed* rounds: the first
+    checkpoint lands at round_index == checkpoint_every, on the dot."""
+
+    def test_in_process_first_checkpoint_round(self):
+        test = _buggy_test()
+        cluster = test.build_cluster(
+            ClusterConfig(num_workers=2, instructions_per_round=30,
+                          checkpoint_every=3))
+        cluster.run(limits=ExplorationLimits(max_rounds=2))
+        assert cluster.last_checkpoint is None  # 2 completed rounds < 3
+        cluster = test.build_cluster(
+            ClusterConfig(num_workers=2, instructions_per_round=30,
+                          checkpoint_every=3))
+        cluster.run(limits=ExplorationLimits(max_rounds=3))
+        assert cluster.last_checkpoint is not None
+        assert cluster.last_checkpoint.round_index == 3
+
+    @needs_fork
+    def test_process_first_checkpoint_round(self):
+        config = dict(num_workers=2, instructions_per_round=40,
+                      reply_timeout=1.0, checkpoint_every=3)
+        cluster = ProcessCloud9Cluster(
+            "test-as-buggy", config=ProcessClusterConfig(**config))
+        cluster.run(limits=ExplorationLimits(max_rounds=2))
+        assert cluster.last_checkpoint is None
+        cluster = ProcessCloud9Cluster(
+            "test-as-buggy", config=ProcessClusterConfig(**config))
+        cluster.run(limits=ExplorationLimits(max_rounds=3))
+        assert cluster.last_checkpoint is not None
+        assert cluster.last_checkpoint.round_index == 3
+
+
+# -- cumulative accounting and self-contained checkpoints across resume ------------------
+
+
+class TestResumeAccounting:
+    def test_checkpoint_round_trips_bugs_and_test_cases(self):
+        bug = BugReport(kind=BugKind.ASSERTION_FAILURE, message="boom",
+                        state_id=7, line=3, function="main")
+        case = TestCase(state_id=7, inputs={"input": b"AAA"}, path_length=12,
+                        fork_trace=[0, 1], exit_code=None, is_error=True,
+                        error_summary="boom")
+        checkpoint = ClusterCheckpoint(
+            round_index=2, frontier_paths=[(0,)], coverage_bits=0b1,
+            line_count=4, wall_time=1.5,
+            bug_reports=[ClusterCheckpoint.encode_bug(bug)],
+            test_cases=[ClusterCheckpoint.encode_test_case(case)])
+        restored = ClusterCheckpoint.from_json(checkpoint.to_json())
+        assert restored.wall_time == 1.5
+        (decoded_bug,) = restored.decode_bugs()
+        assert decoded_bug.summary() == bug.summary()
+        (decoded_case,) = restored.decode_test_cases()
+        assert decoded_case.inputs == {"input": b"AAA"}
+        assert decoded_case.is_error and decoded_case.fork_trace == [0, 1]
+
+    def _interrupt_after_bug(self, test):
+        """Interrupt a checkpointing run one round after the bug is found;
+        returns the checkpoint (which must postdate the bug) and the
+        partial result."""
+        # Scout run: learn when the bug appears and how long the run is.
+        scout = test.build_cluster(
+            ClusterConfig(num_workers=2, instructions_per_round=60))
+        bug_round = {}
+
+        def hook(round_index, cl):
+            if "found" not in bug_round and any(w.bugs for w in cl.workers):
+                bug_round["found"] = round_index
+
+        scout.round_hook = hook
+        scouted = scout.run(limits=LIMITS)
+        assert scouted.exhausted and "found" in bug_round
+        stop_at = bug_round["found"] + 1
+        assert stop_at < scouted.rounds_executed, \
+            "bug found on the last round; tune the budgets"
+        # The real, deterministic interrupted run.
+        cluster = test.build_cluster(
+            ClusterConfig(num_workers=2, instructions_per_round=60,
+                          checkpoint_every=1))
+        partial = cluster.run(limits=ExplorationLimits(max_rounds=stop_at))
+        assert partial.bugs, "bug not found before the interruption point"
+        assert not partial.exhausted, "tune budgets: run finished early"
+        return cluster.last_checkpoint, partial
+
+    def test_resumed_run_reports_cumulative_wall_time_and_precrash_bugs(self):
+        test = _buggy_test(buffer_size=4)
+        full = test.run(backend="cluster", workers=2,
+                        instructions_per_round=60, limits=LIMITS)
+        assert full.exhausted and full.found_bug
+
+        checkpoint, partial = self._interrupt_after_bug(test)
+        assert checkpoint is not None
+        assert checkpoint.wall_time > 0.0
+        assert checkpoint.bug_reports, "checkpoint dropped pre-crash bugs"
+        assert checkpoint.test_cases
+
+        resumed_cluster = test.build_cluster(
+            ClusterConfig(num_workers=2, instructions_per_round=60))
+        resumed = resumed_cluster.run(limits=LIMITS, resume_from=checkpoint)
+        assert resumed.exhausted
+        # Pre-crash bugs survive the resume even though the resumed segment
+        # never re-explores the paths that produced them.
+        assert resumed.bug_summaries() == full.bug_summaries()
+        assert resumed.paths_completed == full.paths_completed
+        assert len(resumed.test_cases) == len(full.test_cases)
+        # Wall time is cumulative: at least the checkpointed segment's.
+        assert resumed.wall_time >= checkpoint.wall_time
+
+    @needs_fork
+    def test_process_resume_keeps_precrash_bugs_and_wall_time(self, tmp_path):
+        test = specs.resolve_test("test-as-buggy")
+        kwargs = dict(instructions_per_round=40, reply_timeout=1.0)
+        full = test.run(backend="process", workers=2, limits=LIMITS, **kwargs)
+        assert full.exhausted and full.found_bug
+
+        path = str(tmp_path / "ckpt.json")
+        rounds = 2
+        partial = None
+        # The bug lands in the first couple of rounds on this target; walk
+        # the interruption point forward until a checkpoint holds it.
+        while rounds <= 10:
+            partial = test.run(backend="process", workers=2,
+                               limits=ExplorationLimits(max_rounds=rounds),
+                               checkpoint_every=1, checkpoint_path=path,
+                               **kwargs)
+            if partial.found_bug and not partial.exhausted:
+                break
+            rounds += 1
+        assert partial is not None and partial.found_bug
+        assert not partial.exhausted
+        checkpoint = ClusterCheckpoint.load(path)
+        assert checkpoint.bug_reports, "checkpoint dropped pre-crash bugs"
+        assert checkpoint.wall_time > 0.0
+
+        resumed = test.run(backend="process", workers=2, limits=LIMITS,
+                           resume_from=path, **kwargs)
+        assert resumed.exhausted
+        assert resumed.bug_summaries() == full.bug_summaries()
+        assert resumed.paths_completed == full.paths_completed
+        assert resumed.wall_time >= checkpoint.wall_time
+
+
+# -- process-backend autoscaling (also the CI smoke) -------------------------------------
+
+
+@needs_fork
+class TestProcessAutoscale:
+    def test_autoscaled_process_run_matches_fixed_and_scales_up(self):
+        test = specs.resolve_test("test-as-buggy")
+        fixed = test.run(backend="process", workers=2, limits=LIMITS,
+                         instructions_per_round=40, reply_timeout=1.0)
+        assert fixed.exhausted and fixed.found_bug
+
+        policy = AutoscalePolicy(min_workers=1, max_workers=3,
+                                 queue_high=2.0, queue_low=1.0,
+                                 cooldown_rounds=1, hysteresis_rounds=1)
+        result = test.run(backend="process", workers=1, limits=LIMITS,
+                          instructions_per_round=40, reply_timeout=1.0,
+                          autoscale=policy, drain_chunk=4)
+        assert result.exhausted
+        assert result.workers_added >= 1
+        assert result.peak_workers <= 3
+        assert result.worker_failures == 0
+        assert result.paths_completed == fixed.paths_completed
+        assert result.covered_lines == fixed.covered_lines
+        assert result.bug_summaries() == fixed.bug_summaries()
+
+    def test_retire_on_checkpoint_round_counts_members_once(self):
+        """Regression: a worker whose drain completes during the transfer
+        phase of a checkpoint round used to be counted twice in that
+        checkpoint -- once via its (stale) status reply and once via the
+        final results collected at retirement."""
+        cluster = ProcessCloud9Cluster(
+            "test-as-buggy",
+            config=ProcessClusterConfig(num_workers=3,
+                                        instructions_per_round=40,
+                                        reply_timeout=1.0,
+                                        checkpoint_every=1, drain_chunk=1))
+        captured = {"ckpts": {}}
+
+        def hook(round_index, cl):
+            if "removed" not in captured and round_index >= 2:
+                victim = max(cl.handles,
+                             key=lambda h: (h.paths_completed,
+                                            h.queue_length))
+                if (victim.queue_length >= 3 and victim.paths_completed >= 1
+                        and len(cl.handles) > 1):
+                    captured["removed"] = round_index
+                    cl.remove_worker(victim.worker_id)
+            if cl.last_checkpoint is not None:
+                captured["ckpts"][cl.last_checkpoint.round_index] = \
+                    cl.last_checkpoint
+
+        cluster.round_hook = hook
+        result = cluster.run(limits=LIMITS)
+        assert "removed" in captured, \
+            "no victim had paths and queue; tune the budgets"
+        assert result.workers_removed == 1
+        # Every checkpoint's cumulative counters must agree with the round
+        # snapshot taken at the same barrier (which sums each member once).
+        mismatches = [
+            (snap.round_index, checkpoint.paths_completed,
+             snap.paths_completed)
+            for snap in result.timeline.snapshots
+            for checkpoint in [captured["ckpts"].get(snap.round_index + 1)]
+            if checkpoint is not None
+            and checkpoint.paths_completed != snap.paths_completed]
+        assert not mismatches, \
+            "checkpoint double-counted a retiring member: %r" % mismatches
+
+    def test_remove_worker_drains_incrementally_mid_run(self):
+        cluster = ProcessCloud9Cluster(
+            "test-as-buggy",
+            config=ProcessClusterConfig(num_workers=3,
+                                        instructions_per_round=40,
+                                        reply_timeout=1.0, drain_chunk=1))
+        events = {}
+
+        def hook(round_index, cl):
+            if "removed" not in events and round_index >= 2:
+                victim = max(cl.handles, key=lambda h: h.queue_length)
+                if victim.queue_length >= 2 and len(cl.handles) > 1:
+                    events["removed"] = victim.worker_id
+                    events["queue"] = victim.queue_length
+                    cl.remove_worker(victim.worker_id)
+            if cl._draining:
+                events["saw_draining"] = True
+
+        cluster.round_hook = hook
+        result = cluster.run(limits=LIMITS)
+        assert "removed" in events, \
+            "no worker accumulated enough queue; tune the budgets"
+        assert events.get("saw_draining"), \
+            "drain completed synchronously despite drain_chunk=1"
+        assert result.exhausted
+        assert result.workers_removed == 1
+        # The drained worker's results still merged into the totals.
+        assert events["removed"] in result.worker_stats
+        test = specs.resolve_test("test-as-buggy")
+        single = test.run(backend="single", limits=ExplorationLimits())
+        assert result.paths_completed == single.paths_completed
