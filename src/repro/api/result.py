@@ -75,6 +75,12 @@ class RunResult:
     workers_added: int = 0
     workers_removed: int = 0
     peak_workers: int = 0
+    #: TCP-transport liveness counters (``backend="tcp"``, :mod:`repro.net`):
+    #: worker deaths detected by heartbeat silence (as opposed to connection
+    #: loss or a local process exit), and agents admitted into an
+    #: already-running cluster -- respawn replacements plus elastic joins.
+    heartbeat_misses: int = 0
+    agents_reconnected: int = 0
     #: Round index of the checkpoint this run resumed from (None = fresh).
     resumed_from_round: Optional[int] = None
     #: The legacy result object this facade was adapted from.
@@ -216,6 +222,8 @@ class RunResult:
             workers_added=result.workers_added,
             workers_removed=result.workers_removed,
             peak_workers=result.peak_workers,
+            heartbeat_misses=result.heartbeat_misses,
+            agents_reconnected=result.agents_reconnected,
             resumed_from_round=result.resumed_from_round,
             raw=result,
         )

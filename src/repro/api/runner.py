@@ -23,9 +23,14 @@ Built-in backends:
   at the destination.  Requires a test built from a registered spec
   (:func:`repro.distrib.specs.resolve_test`) or an explicit ``spec=`` option,
   because live tests do not pickle.
+* ``"tcp"`` -- the same coordinator over the socket transport
+  (:mod:`repro.net`): workers are *agents* that dial in over TCP
+  (``python -m repro.net.agent --connect HOST:PORT``), possibly from other
+  machines, with heartbeat-based liveness.  Pass ``listen="0.0.0.0:4850"``
+  to accept remote agents, or ``spawn_local_agents=True`` for a
+  self-contained loopback cluster.
 
-New backends register through :func:`register_runner`, e.g. a future
-RPC-sharded runner.
+New backends register through :func:`register_runner`.
 """
 
 from __future__ import annotations
@@ -59,6 +64,7 @@ __all__ = [
     "StaticPartitionRunner",
     "ThreadedRunner",
     "ProcessRunner",
+    "TcpRunner",
     "available_backends",
     "get_runner",
     "register_runner",
@@ -196,6 +202,22 @@ class ProcessRunner:
                                       test_name=test.name)
 
 
+class TcpRunner(ProcessRunner):
+    """The process-cluster coordinator over the socket transport
+    (:mod:`repro.net`): remote worker agents dial in over TCP."""
+
+    name = "tcp"
+
+    def run(self, test: "SymbolicTest",
+            limits: Optional[ExplorationLimits] = None,
+            **options: object) -> RunResult:
+        # Loose options become a ProcessClusterConfig; default the carrier
+        # to TCP (a full config= must already say transport="tcp").
+        if "config" not in options:
+            options.setdefault("transport", "tcp")
+        return super().run(test, limits=limits, **options)
+
+
 class StaticPartitionRunner:
     """The static-partitioning baseline the paper argues against (§2)."""
 
@@ -257,6 +279,6 @@ def run_test(test: "SymbolicTest", backend: str = "single",
 
 
 for _runner in (SingleRunner(), ClusterRunner(), StaticPartitionRunner(),
-                ThreadedRunner(), ProcessRunner()):
+                ThreadedRunner(), ProcessRunner(), TcpRunner()):
     register_runner(_runner)
 del _runner

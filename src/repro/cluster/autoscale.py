@@ -215,7 +215,14 @@ class Autoscaler:
         for _ in range(self.policy.scale_step):
             if num_live + added >= self.policy.max_workers:
                 break
-            cluster.add_worker()
+            try:
+                cluster.add_worker()
+            except RuntimeError:
+                # No capacity to grow right now -- e.g. the TCP transport's
+                # pending-agent pool is empty, or the newcomer died while
+                # joining.  A policy decision must not kill the run; the
+                # pressure signal will re-fire once capacity exists.
+                break
             added += 1
         if added:
             self.workers_added += added

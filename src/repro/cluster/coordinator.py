@@ -129,6 +129,11 @@ class ClusterResult:
     workers_added: int = 0
     workers_removed: int = 0
     peak_workers: int = 0
+    # TCP-transport liveness accounting (repro.net): worker deaths detected
+    # by heartbeat silence specifically, and agents admitted into an
+    # already-running cluster (respawn replacements + elastic joins).
+    heartbeat_misses: int = 0
+    agents_reconnected: int = 0
 
     @property
     def useful_instructions_per_worker(self) -> float:

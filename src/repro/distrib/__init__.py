@@ -20,10 +20,14 @@ Public pieces:
 * :mod:`repro.distrib.specs` -- the test-spec registry
   (:func:`~repro.distrib.specs.resolve_test` and friends).
 * :class:`~repro.distrib.cluster.ProcessCloud9Cluster` -- the coordinator,
-  registered as the ``"process"`` backend of :mod:`repro.api.runner`.
-* :class:`~repro.distrib.worker.DistribWorker` -- the per-process worker
+  registered as the ``"process"`` backend of :mod:`repro.api.runner`; with
+  ``ProcessClusterConfig(transport="tcp")`` (the ``"tcp"`` backend) it
+  drives remote worker agents over the :mod:`repro.net` socket transport
+  instead of local processes.
+* :class:`~repro.distrib.worker.DistribWorker` -- the per-worker command
   loop (also drivable in-process, which is how the unit tests exercise
-  broken-replay handling without forking).
+  broken-replay handling without forking), shared verbatim by forked
+  worker processes and remote TCP agents.
 """
 
 from repro.distrib.cluster import ProcessCloud9Cluster, ProcessClusterConfig

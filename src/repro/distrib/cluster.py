@@ -1,11 +1,25 @@
 """The multiprocess Cloud9 cluster: N worker processes, one load balancer.
 
-This is the paper's deployment shape on one machine: shared-nothing workers
-(each owning a private executor, solver, strategy and subtree of the global
-execution tree) coordinated by a load balancer that only ever sees queue
-lengths and coverage bit vectors (§3.1/§3.3).  Work moves between processes
-as path-encoded job trees that the destination replays (§3.2) -- never as
+This is the paper's deployment shape: shared-nothing workers (each owning a
+private executor, solver, strategy and subtree of the global execution tree)
+coordinated by a load balancer that only ever sees queue lengths and
+coverage bit vectors (§3.1/§3.3).  Work moves between workers as
+path-encoded job trees that the destination replays (§3.2) -- never as
 serialized program state.
+
+The coordinator<->worker channel is a :class:`~repro.net.transport.Transport`
+with two carriers, selected by ``ProcessClusterConfig(transport=...)``:
+
+* ``"mp"`` (default) -- one worker process per channel on a pair of
+  multiprocessing queues, all on this host; liveness is
+  ``Process.is_alive()``.
+* ``"tcp"`` -- framed pickles over sockets (:mod:`repro.net`): the
+  coordinator listens (``listen="host:port"``) and workers are *agents*
+  that dial in (``python -m repro.net.agent --connect HOST:PORT``), from
+  this machine or any other.  Liveness is heartbeat-based (periodic pings;
+  ``heartbeat_interval`` x ``heartbeat_miss_threshold`` of silence means
+  dead), so a SIGKILLed or partitioned remote agent is detected without an
+  OS-level oracle and recovered through the same ledger machinery below.
 
 The coordinator keeps the virtual-time round structure of
 :class:`~repro.cluster.coordinator.Cloud9Cluster` so results are directly
@@ -34,7 +48,6 @@ run resume (``run(resume_from=...)``) instead of restarting.
 from __future__ import annotations
 
 import multiprocessing
-import queue as queue_module
 import time
 from dataclasses import dataclass
 from typing import Callable, Dict, List, Optional, Set, Tuple, Union
@@ -62,6 +75,19 @@ from repro.distrib.worker import worker_main
 from repro.engine.errors import BugReport
 from repro.engine.limits import ExplorationLimits, effective_limits
 from repro.engine.test_case import TestCase
+from repro.net.framing import DEFAULT_MAX_FRAME_SIZE
+from repro.net.heartbeat import (
+    DEFAULT_HEARTBEAT_INTERVAL,
+    DEFAULT_MISS_THRESHOLD,
+)
+from repro.net.server import AgentServer, NoPendingAgent
+from repro.net.transport import (
+    QueuePairTransport,
+    ReceiveTimeout,
+    Transport,
+    TransportError,
+    reap_process,
+)
 from repro.solver.cache import aggregate_cache_counters
 
 __all__ = ["ProcessClusterConfig", "ProcessCloud9Cluster", "WorkerProcessError",
@@ -155,6 +181,32 @@ class ProcessClusterConfig:
     #: this many jobs per round until its frontier is empty, instead of
     #: stalling the round on a synchronous whole-frontier drain.
     drain_chunk: int = 16
+    #: Carrier of the coordinator<->worker channel: ``"mp"`` (the in-host
+    #: multiprocessing-queue pair, the default) or ``"tcp"`` (framed pickles
+    #: over sockets, :mod:`repro.net` -- workers are *agents* that dial in
+    #: from anywhere, ``python -m repro.net.agent --connect HOST:PORT``).
+    transport: str = "mp"
+    #: TCP only: the ``"host:port"`` the coordinator listens on for agents
+    #: (port 0 picks a free port; the bound address is
+    #: ``cluster.listen_address``).  Default loopback-only; listen on
+    #: ``"0.0.0.0:PORT"`` to accept remote machines.
+    listen: str = "127.0.0.1:0"
+    #: TCP only: seconds between agent heartbeat pings, and how many may be
+    #: missed before a silent agent is declared dead and its territory
+    #: recovered (detection latency = interval * miss threshold).
+    heartbeat_interval: float = DEFAULT_HEARTBEAT_INTERVAL
+    heartbeat_miss_threshold: int = DEFAULT_MISS_THRESHOLD
+    #: TCP only: reject wire frames larger than this many bytes (a corrupt
+    #: or hostile peer fails alone instead of ballooning the coordinator).
+    max_frame_size: int = DEFAULT_MAX_FRAME_SIZE
+    #: TCP only: seconds to wait for a dialed-in agent when one is needed
+    #: (initial membership, ``add_worker``, respawn) before giving up.
+    agent_wait_timeout: float = 30.0
+    #: TCP only: let the coordinator spawn loopback agent processes itself
+    #: whenever a worker is needed, instead of waiting for external agents.
+    #: Exercises the full socket path self-contained -- the CI smoke, the
+    #: benchmarks and ``backend="tcp"`` quickstarts use this.
+    spawn_local_agents: bool = False
 
     def __post_init__(self) -> None:
         if self.num_workers < 1:
@@ -169,17 +221,32 @@ class ProcessClusterConfig:
             raise ValueError("max_worker_failures must be non-negative")
         if self.drain_chunk < 1:
             raise ValueError("drain_chunk must be positive")
+        if self.transport not in ("mp", "tcp"):
+            raise ValueError("transport must be 'mp' or 'tcp', got %r"
+                             % (self.transport,))
+        if self.heartbeat_interval <= 0:
+            raise ValueError("heartbeat_interval must be positive")
+        if self.heartbeat_miss_threshold < 1:
+            raise ValueError("heartbeat_miss_threshold must be at least 1")
+        if self.max_frame_size < 1024:
+            raise ValueError("max_frame_size must be at least 1 KiB")
+        if self.agent_wait_timeout <= 0:
+            raise ValueError("agent_wait_timeout must be positive")
+        if self.spawn_local_agents and self.transport != "tcp":
+            raise ValueError("spawn_local_agents requires transport='tcp'")
         self.autoscale = AutoscalePolicy.coerce(self.autoscale)
 
 
 class _WorkerHandle:
-    """Coordinator-side bookkeeping for one worker process."""
+    """Coordinator-side bookkeeping for one worker, behind its transport."""
 
-    def __init__(self, worker_id: int, process, command_queue, reply_queue):
+    def __init__(self, worker_id: int, transport: Transport,
+                 agent_process=None):
         self.worker_id = worker_id
-        self.process = process
-        self.command_queue = command_queue
-        self.reply_queue = reply_queue
+        self.transport = transport
+        #: The loopback agent process, when this coordinator spawned one
+        #: itself (``spawn_local_agents=True``); None for external agents.
+        self.agent_process = agent_process
         self.queue_length = 0
         self.paths_completed = 0
         self.bugs_found = 0
@@ -187,6 +254,13 @@ class _WorkerHandle:
         self.replay_instructions = 0
         #: Merged coverage bits to piggyback on the next explore command.
         self.pending_coverage_bits: Optional[int] = None
+
+    @property
+    def process(self):
+        """The underlying worker process, where one exists on this host
+        (the mp-queue pair's child, or a coordinator-spawned loopback
+        agent); None for a remote agent."""
+        return getattr(self.transport, "process", None) or self.agent_process
 
 
 class ProcessCloud9Cluster:
@@ -260,18 +334,79 @@ class ProcessCloud9Cluster:
         self._base_tests: List[TestCase] = []
         self._resumed_from_round: Optional[int] = None
         self._run_started = 0.0
+        # TCP transport: workers are agents that dial into this listener.
+        # Created eagerly so ``listen_address`` is known (and printable, and
+        # dialable) before ``run()`` blocks waiting for agents.
+        self._heartbeat_misses = 0
+        self._agents_reconnected = 0
+        self.server: Optional[AgentServer] = None
+        if self.config.transport == "tcp":
+            self._open_server()
 
-    # -- process management ------------------------------------------------------------
+    # -- process / agent management ----------------------------------------------------
 
     def _context(self):
         method = self.config.start_method or default_start_method()
         return multiprocessing.get_context(method)
 
+    def _open_server(self) -> None:
+        self.server = AgentServer(
+            spec_name=self.spec_name,
+            spec_params=self.spec_params,
+            strategy=self.strategy,
+            spec_modules=tuple(self.config.spec_modules),
+            listen=self.config.listen,
+            heartbeat_interval=self.config.heartbeat_interval,
+            heartbeat_miss_threshold=self.config.heartbeat_miss_threshold,
+            max_frame_size=self.config.max_frame_size)
+
+    @property
+    def listen_address(self) -> Optional[Tuple[str, int]]:
+        """The bound (host, port) agents should dial (TCP transport only)."""
+        return self.server.address if self.server is not None else None
+
+    @property
+    def pending_agents(self) -> int:
+        """Dialed-in agents waiting to be admitted (TCP transport only)."""
+        return self.server.pending_count if self.server is not None else 0
+
+    def _spawn_local_agent(self):
+        """Fork one loopback agent process pointed at our own listener."""
+        from repro.net.agent import _local_agent_main  # lazy: import cycle
+        host, port = self.server.address
+        process = self._context().Process(
+            target=_local_agent_main,
+            args=("%s:%d" % (host, port), tuple(self.config.spec_modules),
+                  self.config.max_frame_size),
+            name="cloud9-agent", daemon=True)
+        process.start()
+        return process
+
     def _launch(self) -> _WorkerHandle:
-        """Start one worker process (without waiting for its ReadyReply)."""
-        ctx = self._context()
+        """Provision one worker (without waiting for its ReadyReply).
+
+        On the mp transport this starts a worker process on its queue pair;
+        on the TCP transport it *admits* the next dialed-in agent from the
+        pending pool (first spawning a loopback agent of our own under
+        ``spawn_local_agents=True``).
+        """
         worker_id = self._next_worker_id
         self._next_worker_id += 1
+        if self.config.transport == "tcp":
+            agent_process = None
+            if self.config.spawn_local_agents:
+                agent_process = self._spawn_local_agent()
+            try:
+                transport = self.server.admit(
+                    worker_id, timeout=self.config.agent_wait_timeout)
+            except NoPendingAgent as exc:
+                if agent_process is not None:
+                    reap_process(agent_process,
+                                 timeout=self.config.shutdown_timeout)
+                raise WorkerProcessError(str(exc)) from None
+            return _WorkerHandle(worker_id, transport,
+                                 agent_process=agent_process)
+        ctx = self._context()
         command_queue = ctx.Queue()
         reply_queue = ctx.Queue()
         process = ctx.Process(
@@ -282,7 +417,8 @@ class ProcessCloud9Cluster:
             name="cloud9-worker-%d" % worker_id,
             daemon=True)
         process.start()
-        return _WorkerHandle(worker_id, process, command_queue, reply_queue)
+        return _WorkerHandle(
+            worker_id, QueuePairTransport(process, command_queue, reply_queue))
 
     def _check_ready(self, handle: _WorkerHandle) -> None:
         """Wait for the ReadyReply and enroll the worker; _WorkerFailure on death."""
@@ -320,6 +456,11 @@ class ProcessCloud9Cluster:
         seed_length = round(self.load_balancer.mean_queue_length())
         handle = self._launch()
         self._check_ready(handle)
+        if self.config.transport == "tcp":
+            # Every admission past the initial membership is an agent
+            # (re)connecting into a running cluster: a respawn replacement
+            # or an elastic join.
+            self._agents_reconnected += 1
         self.load_balancer.register_worker(handle.worker_id,
                                            queue_length=seed_length)
         bits = self.load_balancer.overlay.global_vector.as_int()
@@ -328,63 +469,68 @@ class ProcessCloud9Cluster:
         return handle
 
     def _cleanup_handle(self, handle: _WorkerHandle) -> None:
-        """Reap a worker's process and queues (alive, stuck, or dead)."""
-        process = handle.process
+        """Tear down a worker's channel (alive, stuck, or dead).
+
+        The transport owns the escalation: the queue pair reaps its child
+        process (join -> terminate -> kill) and drains its queues; the TCP
+        transport grants a drain window for a graceful hang-up, then cuts
+        the socket.  A coordinator-spawned loopback agent process is reaped
+        here too, with the same escalation.
+        """
         timeout = self.config.shutdown_timeout
-        process.join(timeout=timeout if process.is_alive() else 1.0)
-        if process.is_alive():  # stuck: escalate terminate -> kill
-            process.terminate()
-            process.join(timeout=timeout)
-        if process.is_alive():
-            process.kill()
-            process.join(timeout=timeout)
-        # Drain and close queues so their feeder threads exit promptly.
-        for q in (handle.command_queue, handle.reply_queue):
-            try:
-                while True:
-                    q.get_nowait()
-            except (queue_module.Empty, OSError, ValueError, EOFError):
-                pass
-            q.close()
+        handle.transport.close(timeout=timeout)
+        if handle.agent_process is not None:
+            reap_process(handle.agent_process, timeout=timeout)
 
     def _shutdown_workers(self) -> None:
         everyone = self.handles + self._draining
         for handle in everyone:
-            if handle.process.is_alive():
+            if handle.transport.is_alive():
                 try:
-                    handle.command_queue.put(StopCommand())
-                except (OSError, ValueError):  # pragma: no cover - queue torn down
+                    handle.transport.send(StopCommand())
+                except TransportError:  # pragma: no cover - channel torn down
                     pass
         for handle in everyone:
             self._cleanup_handle(handle)
         self.handles = []
         self._draining = []
+        if self.server is not None:
+            self.server.close()
+            self.server = None
 
     # -- messaging ---------------------------------------------------------------------
 
     def _send(self, handle: _WorkerHandle, command) -> None:
-        handle.command_queue.put(command)
+        try:
+            handle.transport.send(command)
+        except TransportError as exc:
+            raise _WorkerFailure(handle, str(exc)) from None
         self.messages_sent += 1
 
     def _receive(self, handle: _WorkerHandle):
+        transport = handle.transport
         death_deadline: Optional[float] = None
         while True:
             try:
-                reply = handle.reply_queue.get(timeout=0.5)
-            except queue_module.Empty:
-                if handle.process.is_alive():
+                reply = transport.recv(timeout=0.5)
+            except ReceiveTimeout:
+                if transport.is_alive():
                     # Still computing; a long round is legitimate.  Total run
                     # time is bounded by limits, not by this loop.
                     continue
-                # Dead process: give queued replies a grace period to drain,
+                # Dead peer (process exit, connection lost, or heartbeats
+                # missed): give in-flight replies a grace period to drain,
                 # then report the death.
                 if death_deadline is None:
                     death_deadline = time.monotonic() + self.config.reply_timeout
                 if time.monotonic() >= death_deadline:
                     raise _WorkerFailure(
-                        handle, "died (exit code %r)"
-                        % (handle.process.exitcode,)) from None
+                        handle, transport.liveness_error()) from None
                 continue
+            except TransportError as exc:
+                # The channel itself broke (peer hung up, corrupt or
+                # oversized frame): this worker is lost, the run is not.
+                raise _WorkerFailure(handle, str(exc)) from None
             if isinstance(reply, ErrorReply):
                 raise _WorkerFailure(
                     handle, "failed:\n%s" % reply.details)
@@ -416,6 +562,10 @@ class ProcessCloud9Cluster:
         else:
             self.handles.remove(handle)
         result.worker_failures += 1
+        if getattr(handle.transport, "heartbeat_missed", False):
+            # Death detected by heartbeat silence (vs. connection loss or
+            # process exit) -- kept as its own counter on the result.
+            self._heartbeat_misses += 1
         result.failed_worker_stats[handle.worker_id] = WorkerStats(
             worker_id=handle.worker_id,
             useful_instructions=handle.useful_instructions,
@@ -499,14 +649,28 @@ class ProcessCloud9Cluster:
         return [h.worker_id for h in self.handles]
 
     def add_worker(self) -> int:
-        """Join a fresh worker process; the load balancer will feed it.
+        """Join a fresh worker; the load balancer will feed it.
 
         Callable between rounds (e.g. from ``round_hook``) while the cluster
-        is running.  Returns the new worker id.
+        is running.  On the mp transport this forks a new worker process; on
+        the TCP transport it admits the next dialed-in agent from the
+        pending-connections pool (spawning a loopback agent first under
+        ``spawn_local_agents=True``) -- which is how the autoscaler scales
+        against a pool of standby remote hosts.  Returns the new worker id.
         """
         if not self.handles:
             raise RuntimeError("add_worker() requires a running cluster "
                                "(call it from round_hook)")
+        if (self.config.transport == "tcp"
+                and not self.config.spawn_local_agents
+                and self.server is not None
+                and self.server.pending_count == 0):
+            # Fail fast instead of stalling the round for agent_wait_timeout:
+            # mid-run growth admits agents that have *already* dialed in.
+            raise WorkerProcessError(
+                "no pending agent to admit at %s:%d -- start one with: "
+                "python -m repro.net.agent --connect %s:%d"
+                % (self.server.address + self.server.address))
         try:
             handle = self._spawn_worker()
         except _WorkerFailure as failure:
@@ -616,7 +780,7 @@ class ProcessCloud9Cluster:
         self.ledger.forget(handle.worker_id)
         try:
             self._send(handle, StopCommand())
-        except (OSError, ValueError):  # pragma: no cover - queue torn down
+        except _WorkerFailure:  # pragma: no cover - channel torn down
             pass
         self._cleanup_handle(handle)
 
@@ -716,7 +880,7 @@ class ProcessCloud9Cluster:
             strategy_seeds={h.worker_id: h.worker_id for h in self.handles},
             spec_name=self.spec_name,
             spec_params=dict(self.spec_params),
-            backend="process",
+            backend=("tcp" if self.config.transport == "tcp" else "process"),
         )
         if self.config.checkpoint_path:
             checkpoint.save(self.config.checkpoint_path)
@@ -808,6 +972,8 @@ class ProcessCloud9Cluster:
         self._run_started = start
         self.autoscaler = (Autoscaler(config.autoscale)
                            if config.autoscale is not None else None)
+        if config.transport == "tcp" and self.server is None:
+            self._open_server()  # re-running after a completed run()
 
         self._start_workers()
         self._peak_workers = max(self._peak_workers, len(self.handles))
@@ -1036,6 +1202,8 @@ class ProcessCloud9Cluster:
         result.rounds_executed = rounds
         result.resumed_from_round = self._resumed_from_round
         result.workers_added = self._workers_added
+        result.heartbeat_misses = self._heartbeat_misses
+        result.agents_reconnected = self._agents_reconnected
         result.workers_removed = self._workers_removed
         result.peak_workers = max(self._peak_workers, len(self.handles))
         result.paths_completed = (self._base_paths

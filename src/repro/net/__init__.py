@@ -1,0 +1,60 @@
+"""Network transports for cross-machine clusters.
+
+The paper evaluated Cloud9 on large EC2 clusters; :mod:`repro.distrib`
+reproduces the coordinator/worker protocol but carried it on one host's
+multiprocessing queues.  This package abstracts the carrier:
+
+* :mod:`repro.net.framing` -- length-prefixed frames with size limits and
+  corrupt-frame containment (the TCP wire format).
+* :mod:`repro.net.transport` -- the :class:`~repro.net.transport.Transport`
+  interface plus both implementations: the in-host mp-queue pair
+  (:class:`~repro.net.transport.QueuePairTransport`, unchanged behavior)
+  and framed pickles over a socket
+  (:class:`~repro.net.transport.TcpTransport`), with the hello/welcome
+  handshake messages and protocol version.
+* :mod:`repro.net.heartbeat` -- ping-based liveness replacing
+  ``Process.is_alive()`` across machines.
+* :mod:`repro.net.server` -- the coordinator-side listener and
+  pending-agent pool (:class:`~repro.net.server.AgentServer`).
+* :mod:`repro.net.agent` -- the remote worker agent
+  (``python -m repro.net.agent --connect HOST:PORT``).  Not imported here:
+  it pulls in the worker stack, which would cycle back through
+  :mod:`repro.distrib`.
+
+Used by :class:`~repro.distrib.cluster.ProcessCloud9Cluster` under
+``ProcessClusterConfig(transport="tcp", ...)``, surfaced as
+``backend="tcp"`` in :mod:`repro.api.runner`.
+"""
+
+from repro.net.framing import (
+    DEFAULT_MAX_FRAME_SIZE,
+    FrameCorruptError,
+    FrameDecoder,
+    FrameError,
+    FrameTooLarge,
+    encode_frame,
+)
+from repro.net.heartbeat import HeartbeatMonitor, HeartbeatSender
+from repro.net.server import AgentServer, NoPendingAgent
+from repro.net.transport import (
+    PROTOCOL_VERSION,
+    HelloMessage,
+    QueuePairTransport,
+    ReceiveTimeout,
+    RejectMessage,
+    TcpTransport,
+    Transport,
+    TransportClosed,
+    TransportError,
+    WelcomeMessage,
+)
+
+__all__ = [
+    "DEFAULT_MAX_FRAME_SIZE", "FrameError", "FrameTooLarge",
+    "FrameCorruptError", "FrameDecoder", "encode_frame",
+    "HeartbeatMonitor", "HeartbeatSender",
+    "AgentServer", "NoPendingAgent",
+    "PROTOCOL_VERSION", "HelloMessage", "WelcomeMessage", "RejectMessage",
+    "Transport", "QueuePairTransport", "TcpTransport",
+    "TransportError", "TransportClosed", "ReceiveTimeout",
+]

@@ -1,0 +1,183 @@
+"""The remote worker agent: ``python -m repro.net.agent --connect HOST:PORT``.
+
+Run this on any machine that can reach the coordinator.  The agent dials in,
+introduces itself (:class:`~repro.net.transport.HelloMessage`, protocol
+version checked by the coordinator), waits in the coordinator's pending pool
+until admitted, and on the :class:`~repro.net.transport.WelcomeMessage`
+rebuilds the target locally from the spec registry -- exactly what a forked
+:func:`~repro.distrib.worker.worker_main` process does, except the
+``(spec_name, spec_params)`` pair arrives over the wire instead of as
+process arguments.  From then on it runs the unchanged §3 worker loop
+(:class:`~repro.distrib.worker.DistribWorker`): explore one budget per
+round, report status, export/import path-encoded jobs.
+
+A daemon thread sends heartbeat pings every ``heartbeat_interval`` seconds
+(from the welcome), so the coordinator can tell "busy exploring" from
+"dead" without an OS-level ``is_alive``.  Any exception -- while rebuilding
+the spec or while handling a command -- ships back as an ``ErrorReply`` so
+the coordinator fails *this worker* with a real traceback; a vanished
+coordinator (EOF on the socket) just ends the agent.
+"""
+
+from __future__ import annotations
+
+import argparse
+import importlib
+import os
+import socket
+import sys
+import traceback
+from typing import Optional, Sequence
+
+from repro.net.framing import DEFAULT_MAX_FRAME_SIZE
+from repro.net.heartbeat import HeartbeatSender
+from repro.net.transport import (
+    PROTOCOL_VERSION,
+    HelloMessage,
+    ReceiveTimeout,
+    RejectMessage,
+    TcpTransport,
+    TransportError,
+    WelcomeMessage,
+    parse_address,
+)
+
+__all__ = ["AgentRejected", "run_agent", "main"]
+
+
+class AgentRejected(RuntimeError):
+    """The coordinator refused this agent during the handshake."""
+
+
+def _agent_name() -> str:
+    return "%s:%d" % (socket.gethostname(), os.getpid())
+
+
+def run_agent(connect: str, spec_modules: Sequence[str] = (),
+              max_frame_size: int = DEFAULT_MAX_FRAME_SIZE,
+              dial_timeout: float = 30.0,
+              admission_timeout: Optional[float] = None) -> int:
+    """Dial the coordinator and serve as one worker until stopped.
+
+    Returns the number of commands served (useful to tests; the CLI ignores
+    it).  ``admission_timeout`` bounds the wait in the pending pool (None =
+    wait for admission indefinitely, the right default for a standby pool
+    an autoscaler admits from).  Raises :class:`AgentRejected` on a
+    handshake refusal and :class:`TransportError` if the coordinator
+    vanishes before admission.
+    """
+    host, port = parse_address(connect)
+    sock = socket.create_connection((host, port), timeout=dial_timeout)
+    sock.settimeout(None)
+    transport = TcpTransport(sock, peer="coordinator %s:%d" % (host, port),
+                             max_frame_size=max_frame_size)
+    transport.start_receiver()
+    sender = None
+    served = 0
+    try:
+        transport.send(HelloMessage(protocol_version=PROTOCOL_VERSION,
+                                    agent=_agent_name()))
+        try:
+            welcome = transport.recv(timeout=admission_timeout)
+        except ReceiveTimeout:
+            raise TransportError(
+                "coordinator %s:%d did not admit this agent within %.1fs"
+                % (host, port, admission_timeout)) from None
+        if isinstance(welcome, RejectMessage):
+            raise AgentRejected(welcome.reason)
+        if not isinstance(welcome, WelcomeMessage):
+            raise TransportError("coordinator sent %r instead of a welcome"
+                                 % (welcome,))
+        transport.max_frame_size = welcome.max_frame_size
+        # Pings start *before* the (possibly slow) spec rebuild, so a big
+        # target cannot read as a dead newcomer.
+        sender = HeartbeatSender(transport.send_ping,
+                                 interval=welcome.heartbeat_interval).start()
+        worker_id = welcome.worker_id
+        # Late imports: pulling in the engine stack only once we are
+        # actually admitted keeps the dial-and-wait phase cheap.
+        from repro.distrib.messages import ErrorReply, StopCommand
+        try:
+            for module_name in tuple(spec_modules) + tuple(welcome.spec_modules):
+                importlib.import_module(module_name)
+            from repro.distrib import specs
+            from repro.distrib.worker import DistribWorker
+            from repro.distrib.messages import ReadyReply
+            test = specs.resolve_test(welcome.spec_name,
+                                      **dict(welcome.spec_params))
+            worker = DistribWorker(worker_id, test, strategy=welcome.strategy)
+            transport.send(ReadyReply(worker_id=worker_id,
+                                      line_count=worker.line_count))
+        except TransportError:
+            raise
+        except BaseException:
+            transport.send(ErrorReply(worker_id=worker_id,
+                                      details=traceback.format_exc()))
+            return served
+        while True:
+            try:
+                command = transport.recv()
+            except TransportError:
+                break  # coordinator hung up; nothing left to serve
+            if isinstance(command, StopCommand):
+                break
+            try:
+                reply = worker.handle(command)
+            except TransportError:
+                raise
+            except BaseException:
+                transport.send(ErrorReply(worker_id=worker_id,
+                                          details=traceback.format_exc()))
+                break
+            transport.send(reply)
+            served += 1
+        return served
+    finally:
+        if sender is not None:
+            sender.stop()
+        transport.close(timeout=0)
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.net.agent",
+        description="Worker agent: dial into a listening repro coordinator "
+                    "and serve as one cluster worker.")
+    parser.add_argument("--connect", required=True, metavar="HOST:PORT",
+                        help="coordinator address (ProcessClusterConfig("
+                             "transport='tcp', listen=...))")
+    parser.add_argument("--spec-module", action="append", default=[],
+                        metavar="MODULE",
+                        help="extra module to import before resolving the "
+                             "spec (repeatable; for specs registered outside "
+                             "repro.targets)")
+    parser.add_argument("--max-frame-size", type=int,
+                        default=DEFAULT_MAX_FRAME_SIZE, metavar="BYTES",
+                        help="reject wire frames larger than this "
+                             "(default %(default)d)")
+    args = parser.parse_args(argv)
+    try:
+        run_agent(args.connect, spec_modules=args.spec_module,
+                  max_frame_size=args.max_frame_size)
+    except AgentRejected as exc:
+        print("agent rejected: %s" % exc, file=sys.stderr)
+        return 2
+    except (TransportError, OSError) as exc:
+        print("agent: %s" % exc, file=sys.stderr)
+        return 1
+    return 0
+
+
+def _local_agent_main(connect: str, spec_modules: Sequence[str],
+                      max_frame_size: int) -> None:
+    """Process entry point for coordinator-spawned loopback agents
+    (``ProcessClusterConfig(spawn_local_agents=True)``)."""
+    try:
+        run_agent(connect, spec_modules=spec_modules,
+                  max_frame_size=max_frame_size)
+    except (AgentRejected, TransportError, OSError):
+        pass  # the coordinator sees the death through the transport
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised by the CLI smoke
+    sys.exit(main())

@@ -1,0 +1,131 @@
+"""Length-prefixed frames: the wire format of the TCP transport.
+
+A frame is a 4-byte big-endian payload length followed by that many payload
+bytes.  The payload of a normal frame is a pickled message object (the same
+command/reply dataclasses :mod:`repro.distrib.messages` already sends over
+multiprocessing queues); a *zero-length* payload is a heartbeat ping -- the
+cheapest possible "still alive" signal, decodable without touching pickle.
+
+Hardening lives at this layer:
+
+* every declared payload length is checked against a configurable
+  ``max_frame_size`` *before* any allocation, on both the sending and the
+  receiving side, so one runaway (or hostile) peer cannot balloon the
+  coordinator's memory;
+* :class:`FrameDecoder` is incremental -- TCP gives back arbitrary chunks,
+  so it must reassemble frames from partial reads and split coalesced ones;
+* pickling failures are wrapped in :class:`FrameCorruptError` so the caller
+  can fail *one peer* with a clear message instead of crashing the run.
+"""
+
+from __future__ import annotations
+
+import pickle
+import struct
+from typing import List, Optional
+
+__all__ = [
+    "DEFAULT_MAX_FRAME_SIZE",
+    "FrameError",
+    "FrameTooLarge",
+    "FrameCorruptError",
+    "encode_frame",
+    "encode_message",
+    "decode_message",
+    "FrameDecoder",
+]
+
+#: Generous ceiling: a JobTree payload of tens of thousands of jobs encodes
+#: to well under a megabyte; anything near this size is a bug or an attack.
+DEFAULT_MAX_FRAME_SIZE = 64 * 1024 * 1024
+
+_HEADER = struct.Struct(">I")
+HEADER_SIZE = _HEADER.size
+
+#: The complete heartbeat-ping frame: a zero-length payload.
+PING_FRAME = _HEADER.pack(0)
+
+
+class FrameError(RuntimeError):
+    """Something on the wire violated the framing protocol."""
+
+
+class FrameTooLarge(FrameError):
+    """A frame declared (or would declare) a payload over the size limit."""
+
+
+class FrameCorruptError(FrameError):
+    """A frame's payload failed to unpickle into a message object."""
+
+
+def encode_frame(payload: bytes,
+                 max_frame_size: int = DEFAULT_MAX_FRAME_SIZE) -> bytes:
+    """Wrap raw payload bytes in a length header."""
+    if len(payload) > max_frame_size:
+        raise FrameTooLarge(
+            "refusing to send a %d-byte frame (max_frame_size=%d)"
+            % (len(payload), max_frame_size))
+    return _HEADER.pack(len(payload)) + payload
+
+
+def encode_message(message: object,
+                   max_frame_size: int = DEFAULT_MAX_FRAME_SIZE) -> bytes:
+    """Pickle a message object into a complete frame."""
+    try:
+        payload = pickle.dumps(message, protocol=pickle.HIGHEST_PROTOCOL)
+    except Exception as exc:
+        raise FrameCorruptError(
+            "message %r does not pickle: %s" % (type(message).__name__, exc)
+        ) from exc
+    return encode_frame(payload, max_frame_size=max_frame_size)
+
+
+def decode_message(payload: bytes) -> object:
+    """Unpickle one frame payload back into a message object."""
+    try:
+        return pickle.loads(payload)
+    except Exception as exc:
+        raise FrameCorruptError(
+            "corrupt frame (%d bytes): %s" % (len(payload), exc)) from exc
+
+
+class FrameDecoder:
+    """Incremental frame reassembly over an arbitrary byte stream.
+
+    Feed it whatever ``recv`` returned; it yields the payloads of every
+    frame completed so far.  Partial headers, partial payloads and several
+    coalesced frames per chunk are all handled; zero-length payloads
+    (heartbeat pings) come out as ``b""``.
+    """
+
+    def __init__(self, max_frame_size: int = DEFAULT_MAX_FRAME_SIZE):
+        self.max_frame_size = max_frame_size
+        self._buffer = bytearray()
+        self._expected: Optional[int] = None  # payload length being read
+
+    @property
+    def buffered_bytes(self) -> int:
+        """Bytes received but not yet part of a completed frame."""
+        return len(self._buffer)
+
+    def feed(self, data: bytes) -> List[bytes]:
+        """Absorb one chunk; return the payloads of every completed frame."""
+        self._buffer.extend(data)
+        payloads: List[bytes] = []
+        while True:
+            if self._expected is None:
+                if len(self._buffer) < HEADER_SIZE:
+                    break
+                (length,) = _HEADER.unpack(bytes(self._buffer[:HEADER_SIZE]))
+                if length > self.max_frame_size:
+                    raise FrameTooLarge(
+                        "peer declared a %d-byte frame (max_frame_size=%d)"
+                        % (length, self.max_frame_size))
+                del self._buffer[:HEADER_SIZE]
+                self._expected = length
+            if len(self._buffer) < self._expected:
+                break
+            payloads.append(bytes(self._buffer[:self._expected]))
+            del self._buffer[:self._expected]
+            self._expected = None
+        return payloads
