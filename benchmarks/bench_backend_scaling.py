@@ -14,6 +14,11 @@ Every backend runs the same spec under the same
 paths, replay overhead, transfer encoding savings, solver-cache hit rates)
 are printed as a table and written to ``BENCH_backend_scaling.json`` at the
 repository root -- the first entry of the benchmark-baseline trajectory.
+
+The tracing-overhead check rides along: the same cluster run with and
+without ``trace_path=`` (best-of-N wall time each) must stay within a few
+percent -- structured tracing is one JSONL append per round, and disabled
+tracing is a single attribute check.
 """
 
 from __future__ import annotations
@@ -21,6 +26,8 @@ from __future__ import annotations
 import json
 import multiprocessing
 import os
+import tempfile
+import time
 
 from repro.api import ExplorationLimits
 from repro.distrib import specs
@@ -101,6 +108,43 @@ def _print_baseline(baseline: dict) -> None:
           round(row["transfer_savings_ratio"], 2))
          for row in baseline["rows"]])
     print("baseline written to %s" % os.path.normpath(OUTPUT_PATH))
+
+
+def _measure_tracing_overhead(repeats: int = 5) -> dict:
+    """Best-of-N wall time for the same cluster run, traced vs untraced."""
+    def run_one(trace_path=None):
+        test = specs.resolve_test(SPEC_NAME, **SPEC_PARAMS)
+        started = time.perf_counter()
+        test.run(backend="cluster", workers=2, limits=LIMITS,
+                 instructions_per_round=INSTRUCTIONS_PER_ROUND,
+                 trace_path=trace_path)
+        return time.perf_counter() - started
+
+    trace_path = os.path.join(tempfile.mkdtemp(prefix="repro-obs-bench-"),
+                              "trace.jsonl")
+    untraced = min(run_one() for _ in range(repeats))
+    traced = min(run_one(trace_path) for _ in range(repeats))
+    trace_bytes = os.path.getsize(trace_path)
+    os.remove(trace_path)
+    os.rmdir(os.path.dirname(trace_path))
+    return {
+        "untraced_wall_time": untraced,
+        "traced_wall_time": traced,
+        "overhead_ratio": (traced - untraced) / untraced,
+        "trace_bytes": trace_bytes,
+    }
+
+
+def test_tracing_overhead(benchmark):
+    overhead = run_once(benchmark, _measure_tracing_overhead)
+    print("tracing overhead: untraced %.3fs traced %.3fs (%+.2f%%), "
+          "%d trace bytes"
+          % (overhead["untraced_wall_time"], overhead["traced_wall_time"],
+             100 * overhead["overhead_ratio"], overhead["trace_bytes"]))
+    assert overhead["trace_bytes"] > 0
+    # Acceptance: tracing costs under 3% wall time (best-of-N absorbs
+    # scheduler noise; one O_APPEND write per round is the whole cost).
+    assert overhead["overhead_ratio"] < 0.03
 
 
 def test_backend_scaling_baseline(benchmark):

@@ -269,10 +269,14 @@ def run_test(test: "SymbolicTest", backend: str = "single",
 
     Limit fields (``max_paths=...``, ``coverage_target=...``, ...) may be
     passed directly among ``options``; they are folded into ``limits``.
-    Everything else is forwarded to the backend (``workers=``, ``strategy=``,
-    ``config=``, or any cluster-config field -- e.g. ``autoscale=`` an
+    That includes ``trace_path=`` -- every backend then writes the run's
+    structured JSONL event trace there (render it with
+    ``python -m repro.obs.report``).  Everything else is forwarded to the
+    backend (``workers=``, ``strategy=``, ``config=``, or any cluster-config
+    field -- e.g. ``autoscale=`` an
     :class:`~repro.cluster.autoscale.AutoscalePolicy` to run the cluster
-    backends elastically).
+    backends elastically, or ``status_listen="127.0.0.1:0"`` to serve live
+    run status from the coordinator, :mod:`repro.obs.status`).
     """
     limits = ExplorationLimits.pop_from(options, base=limits)
     return get_runner(backend).run(test, limits=limits, **options)

@@ -227,6 +227,7 @@ class Autoscaler:
         if added:
             self.workers_added += added
             self.decisions.append((round_index, "grow", added))
+            self._trace(cluster, round_index, "grow", added)
 
     def _shrink(self, round_index: int, cluster, balancer) -> None:
         removed = 0
@@ -242,3 +243,14 @@ class Autoscaler:
         if removed:
             self.workers_removed += removed
             self.decisions.append((round_index, "shrink", removed))
+            self._trace(cluster, round_index, "shrink", removed)
+
+    @staticmethod
+    def _trace(cluster, round_index: int, action: str, count: int) -> None:
+        """Record the decision on the cluster's trace (no-op when untraced;
+        both cluster front ends carry a ``tracer``)."""
+        tracer = getattr(cluster, "tracer", None)
+        if tracer is not None:
+            tracer.emit("autoscale_decision", round=round_index,
+                        action=action, count=count,
+                        workers=len(list(cluster.live_worker_ids)))

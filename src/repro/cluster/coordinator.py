@@ -16,7 +16,7 @@ An optional thread-backed runner for wall-clock parallelism is provided in
 from __future__ import annotations
 
 import time
-from dataclasses import asdict, dataclass, field
+from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional, Sequence, Set, Tuple, Union
 
 from repro.cluster.autoscale import AutoscalePolicy, Autoscaler
@@ -32,6 +32,8 @@ from repro.engine.executor import SymbolicExecutor
 from repro.engine.limits import ExplorationLimits, effective_limits
 from repro.engine.state import ExecutionState
 from repro.engine.test_case import TestCase
+from repro.obs.status import StatusServer
+from repro.obs.trace import NULL_TRACER, Tracer
 from repro.solver.cache import aggregate_cache_counters
 
 ExecutorFactory = Callable[[], SymbolicExecutor]
@@ -74,6 +76,10 @@ class ClusterConfig:
     #: this many jobs per round until empty, so scale-down never stalls a
     #: round on a large frontier.
     drain_chunk: int = 16
+    #: Bind a read-only live-status endpoint (:mod:`repro.obs.status`) on
+    #: this ``host:port`` for the duration of the run (``"127.0.0.1:0"``
+    #: picks a free port; see ``cluster.status_address``).  None = no server.
+    status_listen: Optional[str] = None
 
     def __post_init__(self) -> None:
         if self.num_workers < 1:
@@ -167,6 +173,10 @@ def _dedupe_bugs(bugs: Sequence[BugReport]) -> List[BugReport]:
 class Cloud9Cluster:
     """The public front end: build a cluster and run a symbolic-testing goal."""
 
+    #: Name this backend reports in trace/status events (the threaded
+    #: subclass overrides it).
+    backend_name = "cluster"
+
     def __init__(self, executor_factory: ExecutorFactory,
                  state_factory: StateFactory,
                  config: Optional[ClusterConfig] = None):
@@ -204,6 +214,12 @@ class Cloud9Cluster:
         self._base_tests: List[TestCase] = []
         self._resumed_from_round: Optional[int] = None
         self._run_started = 0.0
+        #: Structured event trace of the current run (:mod:`repro.obs.trace`);
+        #: the no-op tracer outside a traced ``run()``.
+        self.tracer = NULL_TRACER
+        #: Live-status endpoint of the current run (None unless
+        #: ``config.status_listen`` is set; fresh per ``run()``).
+        self.status_server: Optional[StatusServer] = None
         self._build()
         self._peak_workers = len(self.workers)
 
@@ -265,7 +281,14 @@ class Cloud9Cluster:
                 worker.coverage_view.merge_global(bits))
         self._workers_added += 1
         self._peak_workers = max(self._peak_workers, len(self.workers))
+        self.tracer.emit("worker_joined", worker=worker_id,
+                         workers=len(self.workers))
         return worker_id
+
+    @property
+    def status_address(self) -> Optional[Tuple[str, int]]:
+        """``(host, port)`` of the live-status endpoint, if one is running."""
+        return self.status_server.address if self.status_server else None
 
     def remove_worker(self, worker_id: int) -> int:
         """Start retiring a worker, handing its frontier over incrementally.
@@ -288,6 +311,8 @@ class Cloud9Cluster:
         self.workers.remove(worker)
         self._draining.append(worker)
         self._workers_removed += 1
+        self.tracer.emit("worker_draining", worker=worker_id,
+                         queue=worker.queue_length)
         survivors = sorted(self.workers, key=lambda w: w.queue_length)
 
         # Purge the departed worker from the balancer atomically: messages
@@ -340,6 +365,8 @@ class Cloud9Cluster:
         if worker.queue_length == 0 and worker in self._draining:
             self._draining.remove(worker)
             self._departed.append(worker)
+            self.tracer.emit("worker_left", worker=worker.worker_id,
+                             workers=len(self.workers))
         return moved
 
     def _advance_drains(self) -> None:
@@ -397,7 +424,7 @@ class Cloud9Cluster:
                          for b in _dedupe_bugs(self._all_bugs())],
             test_cases=[ClusterCheckpoint.encode_test_case(t)
                         for t in self._all_test_cases()],
-            worker_stats={w.worker_id: asdict(w.stats) for w in self.workers},
+            worker_stats={w.worker_id: w.stats.as_dict() for w in self.workers},
             strategy_seeds={w.worker_id: w.worker_id for w in self.workers},
         )
         if self.config.checkpoint_path:
@@ -477,15 +504,35 @@ class Cloud9Cluster:
         ``resume_from`` (a :class:`~repro.cluster.checkpoint.ClusterCheckpoint`
         or a path to a saved one) restores a checkpointed frontier, coverage
         and counters instead of starting from the seed job.
+
+        ``limits.trace_path`` turns on structured event tracing for the run,
+        and ``config.status_listen`` serves a live status snapshot
+        (:mod:`repro.obs`); both are torn down when the run returns.
         """
-        if resume_from is not None:
-            self._restore(resume_from)
         lim = effective_limits(limits, max_rounds=max_rounds,
                                coverage_target=target_coverage_percent,
                                max_paths=max_paths,
                                stop_on_first_bug=stop_on_first_bug,
                                max_wall_time=max_wall_time,
                                max_instructions=max_instructions)
+        tracer = Tracer(lim.trace_path) if lim.trace_path else NULL_TRACER
+        self.tracer = tracer
+        self.status_server = (StatusServer(self.config.status_listen)
+                              if self.config.status_listen else None)
+        try:
+            return self._run(lim, resume_from)
+        finally:
+            self.tracer = NULL_TRACER
+            tracer.close()
+            if self.status_server is not None:
+                self.status_server.close()
+                self.status_server = None
+
+    def _run(self, lim: ExplorationLimits,
+             resume_from: Optional[Union[ClusterCheckpoint, str]]
+             ) -> ClusterResult:
+        if resume_from is not None:
+            self._restore(resume_from)
         max_rounds, target_coverage_percent = lim.max_rounds, lim.coverage_target
         max_paths, stop_on_first_bug = lim.max_paths, lim.stop_on_first_bug
         max_wall_time, max_instructions = lim.max_wall_time, lim.max_instructions
@@ -499,6 +546,11 @@ class Cloud9Cluster:
         instructions_executed = 0
         self.autoscaler = (Autoscaler(config.autoscale)
                            if config.autoscale is not None else None)
+        tracer = self.tracer
+        tracer.emit("run_started", backend=self.backend_name,
+                    workers=len(self.workers), line_count=line_count,
+                    resumed_from_round=self._resumed_from_round)
+        traced_bugs = 0
 
         round_index = 0
         while round_index < limit:
@@ -522,11 +574,21 @@ class Cloud9Cluster:
                 states_transferred += worker.handle_messages(self.transport)
 
             # 2. Explore for one round of virtual time.
-            useful_before = sum(w.stats.useful_instructions for w in self.workers)
-            replay_before = sum(w.stats.replay_instructions for w in self.workers)
+            work_before = {w.worker_id: (w.stats.useful_instructions,
+                                         w.stats.replay_instructions)
+                           for w in self.workers}
             self._explore_round()
-            useful_delta = sum(w.stats.useful_instructions for w in self.workers) - useful_before
-            replay_delta = sum(w.stats.replay_instructions for w in self.workers) - replay_before
+            work_delta = {
+                w.worker_id: (
+                    w.stats.useful_instructions - work_before[w.worker_id][0],
+                    w.stats.replay_instructions - work_before[w.worker_id][1])
+                for w in self.workers if w.worker_id in work_before}
+            useful_delta = sum(d[0] for d in work_delta.values()) + sum(
+                w.stats.useful_instructions for w in self.workers
+                if w.worker_id not in work_before)
+            replay_delta = sum(d[1] for d in work_delta.values()) + sum(
+                w.stats.replay_instructions for w in self.workers
+                if w.worker_id not in work_before)
             instructions_executed += useful_delta + replay_delta
 
             # 3. Status updates to the LB and balancing decisions.
@@ -550,6 +612,10 @@ class Cloud9Cluster:
             if balancing and round_index % config.balance_interval == 0:
                 for command in self.load_balancer.balance(round_index):
                     result.transfer_commands += 1
+                    tracer.emit("job_transferred", round=round_index,
+                                source=command.source,
+                                destination=command.destination,
+                                jobs=command.job_count)
                     self.transport.send(Message(
                         kind=MessageKind.TRANSFER_REQUEST,
                         sender=LOAD_BALANCER_ID,
@@ -564,6 +630,7 @@ class Cloud9Cluster:
                                + sum(w.paths_completed
                                      for w in self._members()))
             bugs_found = sum(len(w.bugs) for w in self._members())
+            elapsed = time.monotonic() - start
             result.timeline.record(RoundSnapshot(
                 round_index=round_index,
                 queue_lengths={w.worker_id: w.queue_length for w in self.workers},
@@ -577,13 +644,52 @@ class Cloud9Cluster:
                 bugs_found=bugs_found,
                 load_balancing_enabled=balancing,
                 num_workers=len(self.workers),
+                elapsed=elapsed,
             ))
             result.total_states_transferred += states_transferred
+            if tracer.enabled:
+                if bugs_found > traced_bugs:
+                    tracer.emit("bug_found", round=round_index,
+                                bugs=bugs_found, new=bugs_found - traced_bugs)
+                    traced_bugs = bugs_found
+                tracer.emit(
+                    "round_completed", round=round_index,
+                    elapsed=round(elapsed, 6),
+                    coverage_percent=round(coverage_percent, 3),
+                    covered_lines=len(covered), paths=paths_completed,
+                    candidates=self._total_candidates(),
+                    workers=len(self.workers),
+                    useful=useful_delta, replay=replay_delta,
+                    transferred=states_transferred,
+                    queues={w.worker_id: w.queue_length for w in self.workers},
+                    workers_detail={
+                        w.worker_id: {
+                            "useful": work_delta.get(w.worker_id, (0, 0))[0],
+                            "replay": work_delta.get(w.worker_id, (0, 0))[1],
+                            "queue": w.queue_length}
+                        for w in self.workers})
+            if self.status_server is not None:
+                self.status_server.update({
+                    "backend": self.backend_name,
+                    "round": round_index,
+                    "elapsed": round(elapsed, 3),
+                    "coverage_percent": round(coverage_percent, 3),
+                    "covered_lines": len(covered),
+                    "paths_completed": paths_completed,
+                    "bugs_found": bugs_found,
+                    "candidates": self._total_candidates(),
+                    "live_workers": [w.worker_id for w in self.workers],
+                    "draining_workers": [w.worker_id for w in self._draining],
+                    "queues": {w.worker_id: w.queue_length
+                               for w in self.workers},
+                })
             round_index += 1
 
             # 4b. Periodic checkpoint (between rounds, after status merge).
             if checkpoint_due:
                 self._write_checkpoint(round_index)
+                tracer.emit("checkpoint_written", round=round_index,
+                            path=config.checkpoint_path)
 
             # 5. Termination checks.
             if target_coverage_percent is not None and coverage_percent >= target_coverage_percent:
@@ -607,7 +713,21 @@ class Cloud9Cluster:
         # Cumulative across resume_from= segments: the checkpoint carries the
         # wall time already spent, this run adds its own elapsed time.
         result.wall_time = self._base_wall + (time.monotonic() - start)
-        return self._finalize(result, round_index)
+        final = self._finalize(result, round_index)
+        if tracer.enabled:
+            tracer.emit("solver_query",
+                        **{k: v for k, v in final.cache_stats.items()
+                           if isinstance(v, int) and v})
+            tracer.emit("run_finished", rounds=final.rounds_executed,
+                        paths=final.paths_completed,
+                        coverage_percent=round(final.coverage_percent, 3),
+                        bugs=len(final.bugs),
+                        useful=final.total_useful_instructions,
+                        replay=final.total_replay_instructions,
+                        exhausted=final.exhausted,
+                        goal_reached=final.goal_reached,
+                        wall_time=round(final.wall_time, 6))
+        return final
 
     def _finalize(self, result: ClusterResult, rounds: int) -> ClusterResult:
         members = self._members()

@@ -220,6 +220,7 @@ class StaticPartitionCluster:
                 paths_completed=paths_completed,
                 bugs_found=bugs_found,
                 load_balancing_enabled=False,
+                elapsed=time.monotonic() - start,
             ))
             round_index += 1
 

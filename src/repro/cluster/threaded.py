@@ -29,6 +29,8 @@ __all__ = ["ThreadedCloud9Cluster"]
 class ThreadedCloud9Cluster(Cloud9Cluster):
     """Cloud9 cluster whose per-round worker steps run on OS threads."""
 
+    backend_name = "threaded"
+
     def __init__(self, *args, **kwargs):
         super().__init__(*args, **kwargs)
         self._pool: Optional[ThreadPoolExecutor] = None

@@ -60,6 +60,7 @@ from repro.cluster.ledger import FrontierLedger, RecoveryJob
 from repro.cluster.load_balancer import LoadBalancer
 from repro.cluster.stats import RoundSnapshot, TransferCost, WorkerStats
 from repro.distrib.messages import (
+    DrainStatusCommand,
     ErrorReply,
     ExploreCommand,
     ExportCommand,
@@ -88,6 +89,8 @@ from repro.net.transport import (
     TransportError,
     reap_process,
 )
+from repro.obs.status import StatusServer
+from repro.obs.trace import NULL_TRACER, Tracer
 from repro.solver.cache import aggregate_cache_counters
 
 __all__ = ["ProcessClusterConfig", "ProcessCloud9Cluster", "WorkerProcessError",
@@ -207,6 +210,11 @@ class ProcessClusterConfig:
     #: Exercises the full socket path self-contained -- the CI smoke, the
     #: benchmarks and ``backend="tcp"`` quickstarts use this.
     spawn_local_agents: bool = False
+    #: ``"host:port"`` to serve the live run status on (read-only JSON, one
+    #: line per connection; see :mod:`repro.obs.status`).  ``None`` disables
+    #: the status server; port 0 picks a free port, with the bound address
+    #: on ``cluster.status_address`` while the run is live.
+    status_listen: Optional[str] = None
 
     def __post_init__(self) -> None:
         if self.num_workers < 1:
@@ -254,6 +262,10 @@ class _WorkerHandle:
         self.replay_instructions = 0
         #: Merged coverage bits to piggyback on the next explore command.
         self.pending_coverage_bits: Optional[int] = None
+        #: Last-known solver/cache counters, piggybacked on every status
+        #: reply: when this worker dies before its FinalReply, these still
+        #: enter the run's aggregated cache statistics.
+        self.cache_counters: Dict[str, int] = {}
 
     @property
     def process(self):
@@ -339,9 +351,24 @@ class ProcessCloud9Cluster:
         # dialable) before ``run()`` blocks waiting for agents.
         self._heartbeat_misses = 0
         self._agents_reconnected = 0
+        #: Structured-event trace of the current run (a no-op tracer unless
+        #: ``run()`` was given ``ExplorationLimits.trace_path``).
+        self.tracer = NULL_TRACER
+        #: Live status endpoint (``config.status_listen``); None when off.
+        self.status_server: Optional[StatusServer] = None
+        # Dead workers' last-known cache counters (satellite of the trace
+        # work: the aggregate must include members that never finalized).
+        self._failed_cache_counters: Dict[int, Dict[str, int]] = {}
         self.server: Optional[AgentServer] = None
         if self.config.transport == "tcp":
             self._open_server()
+
+    @property
+    def status_address(self) -> Optional[Tuple[str, int]]:
+        """``(host, port)`` of the live status server, or None when off."""
+        if self.status_server is None:
+            return None
+        return self.status_server.address
 
     # -- process / agent management ----------------------------------------------------
 
@@ -566,6 +593,16 @@ class ProcessCloud9Cluster:
             # Death detected by heartbeat silence (vs. connection loss or
             # process exit) -- kept as its own counter on the result.
             self._heartbeat_misses += 1
+            if self.tracer.enabled:
+                self.tracer.emit("heartbeat_miss", worker=handle.worker_id)
+        if self.tracer.enabled:
+            self.tracer.emit("worker_died", worker=handle.worker_id,
+                             reason=failure.reason, draining=was_draining)
+        if handle.cache_counters:
+            # Its FinalReply will never arrive; the last piggybacked
+            # counters keep the run's cache aggregate honest.
+            self._failed_cache_counters[handle.worker_id] = dict(
+                handle.cache_counters)
         result.failed_worker_stats[handle.worker_id] = WorkerStats(
             worker_id=handle.worker_id,
             useful_instructions=handle.useful_instructions,
@@ -599,8 +636,11 @@ class ProcessCloud9Cluster:
             if self._pending_respawns:
                 self._pending_respawns -= 1
                 try:
-                    self._spawn_worker()
+                    replacement = self._spawn_worker()
                     result.respawns += 1
+                    if self.tracer.enabled:
+                        self.tracer.emit("worker_respawned",
+                                         worker=replacement.worker_id)
                 except _WorkerFailure as failure:
                     result.worker_failures += 1
                     budget = self.config.max_worker_failures
@@ -637,6 +677,9 @@ class ProcessCloud9Cluster:
                 continue
             handle.queue_length += reply.imported
             result.jobs_recovered += 1
+            if self.tracer.enabled:
+                self.tracer.emit("jobs_recovered", worker=handle.worker_id,
+                                 jobs=reply.imported)
             report = self.load_balancer.reports.get(handle.worker_id)
             if report is not None:
                 report.queue_length = handle.queue_length
@@ -681,6 +724,8 @@ class ProcessCloud9Cluster:
                 % (failure.handle.worker_id, failure.reason)) from None
         self._workers_added += 1
         self._peak_workers = max(self._peak_workers, len(self.handles))
+        if self.tracer.enabled:
+            self.tracer.emit("worker_joined", worker=handle.worker_id)
         return handle.worker_id
 
     def remove_worker(self, worker_id: int) -> int:
@@ -707,6 +752,9 @@ class ProcessCloud9Cluster:
         self._draining.append(handle)
         self._workers_removed += 1
         self.load_balancer.deregister_worker(worker_id)
+        if self.tracer.enabled:
+            self.tracer.emit("worker_draining", worker=worker_id,
+                             queue=handle.queue_length)
         return self._drain_handle(handle)
 
     def _drain_handle(self, handle: _WorkerHandle) -> int:
@@ -777,6 +825,8 @@ class ProcessCloud9Cluster:
         self._departed_finals.append(final)
         if handle in self._draining:
             self._draining.remove(handle)
+        if self.tracer.enabled:
+            self.tracer.emit("worker_left", worker=handle.worker_id)
         self.ledger.forget(handle.worker_id)
         try:
             self._send(handle, StopCommand())
@@ -805,6 +855,12 @@ class ProcessCloud9Cluster:
         handle.bugs_found = status.bugs_found
         handle.useful_instructions = status.useful_instructions
         handle.replay_instructions = status.replay_instructions
+        if status.cache_counters is not None:
+            handle.cache_counters = dict(status.cache_counters)
+        if status.events:
+            # Worker-side buffered events (explore spans, ...) merge into
+            # the single coordinator-owned trace file.
+            self.tracer.ingest(status.events, worker=handle.worker_id)
 
     # -- checkpoint / resume -------------------------------------------------------------
 
@@ -955,10 +1011,19 @@ class ProcessCloud9Cluster:
                                stop_on_first_bug=stop_on_first_bug,
                                max_wall_time=max_wall_time,
                                max_instructions=max_instructions)
+        tracer = Tracer(lim.trace_path) if lim.trace_path else NULL_TRACER
+        self.tracer = tracer
+        if self.config.status_listen is not None:
+            self.status_server = StatusServer(self.config.status_listen)
         try:
             return self._run(lim, resume_from=resume_from)
         finally:
             self._shutdown_workers()
+            self.tracer = NULL_TRACER
+            tracer.close()
+            if self.status_server is not None:
+                self.status_server.close()
+                self.status_server = None
 
     def _run(self, lim: ExplorationLimits,
              resume_from: Optional[Union[ClusterCheckpoint, str]] = None
@@ -968,6 +1033,9 @@ class ProcessCloud9Cluster:
         result = ClusterResult(num_workers=config.num_workers,
                                line_count=self.line_count)
         self._result = result
+        self._failed_cache_counters = {}
+        tracer = self.tracer
+        backend = "tcp" if config.transport == "tcp" else "process"
         start = time.monotonic()
         self._run_started = start
         self.autoscaler = (Autoscaler(config.autoscale)
@@ -990,7 +1058,14 @@ class ProcessCloud9Cluster:
                 self._handle_failure(failure, result)
                 self._flush_recovery(result)
 
+        if tracer.enabled:
+            tracer.emit("run_started", backend=backend,
+                        workers=len(self.handles), test=self.spec_name,
+                        line_count=self.line_count,
+                        resumed_from_round=self._resumed_from_round)
+
         instructions_executed = 0
+        traced_bugs = 0
         round_index = 0
         while round_index < limit:
             if self.round_hook is not None:
@@ -1021,11 +1096,14 @@ class ProcessCloud9Cluster:
                 self._send(handle, ExploreCommand(
                     budget=config.instructions_per_round,
                     global_coverage_bits=handle.pending_coverage_bits,
-                    report_frontier=checkpoint_due))
+                    report_frontier=checkpoint_due,
+                    trace=tracer.enabled))
                 handle.pending_coverage_bits = None
             for handle in drain_handles:
-                self._send(handle, ExploreCommand(
-                    budget=0, report_frontier=checkpoint_due))
+                # The drain heartbeat: status only, no explore machinery
+                # (these members used to answer zero-budget explores).
+                self._send(handle, DrainStatusCommand(
+                    report_frontier=checkpoint_due))
             statuses: Dict[int, StatusReply] = {}
             useful_delta = 0
             replay_delta = 0
@@ -1074,7 +1152,8 @@ class ProcessCloud9Cluster:
             states_transferred = 0
             if balancing and round_index % config.balance_interval == 0:
                 for command in self.load_balancer.balance(round_index):
-                    states_transferred += self._execute_transfer(command, result)
+                    states_transferred += self._execute_transfer(
+                        command, result, round_index)
             self._advance_drains()
 
             # 4. Record the round.
@@ -1088,9 +1167,11 @@ class ProcessCloud9Cluster:
                                      for f in self._departed_finals))
             bugs_found = sum(h.bugs_found
                              for h in self.handles + self._draining)
+            elapsed = time.monotonic() - start
+            queues = {h.worker_id: h.queue_length for h in self.handles}
             result.timeline.record(RoundSnapshot(
                 round_index=round_index,
-                queue_lengths={h.worker_id: h.queue_length for h in self.handles},
+                queue_lengths=dict(queues),
                 total_candidates=self._total_candidates(),
                 states_transferred=states_transferred,
                 useful_instructions=useful_delta,
@@ -1101,8 +1182,49 @@ class ProcessCloud9Cluster:
                 bugs_found=bugs_found,
                 load_balancing_enabled=balancing,
                 num_workers=len(self.handles),
+                elapsed=elapsed,
             ))
             result.total_states_transferred += states_transferred
+            if tracer.enabled:
+                if bugs_found > traced_bugs:
+                    tracer.emit("bug_found", round=round_index,
+                                bugs_found=bugs_found,
+                                new=bugs_found - traced_bugs)
+                    traced_bugs = bugs_found
+                detail = {}
+                for worker_id, status in statuses.items():
+                    prev_u, prev_r = previous.get(
+                        worker_id, (status.useful_instructions,
+                                    status.replay_instructions))
+                    detail[worker_id] = {
+                        "useful": status.useful_instructions - prev_u,
+                        "replay": status.replay_instructions - prev_r,
+                        "queue": status.queue_length,
+                    }
+                tracer.emit("round_completed", round=round_index,
+                            elapsed=elapsed,
+                            coverage_percent=coverage_percent,
+                            covered_lines=covered_count,
+                            paths=paths_completed,
+                            candidates=self._total_candidates(),
+                            workers=len(self.handles),
+                            useful=useful_delta, replay=replay_delta,
+                            transferred=states_transferred,
+                            queues=queues, workers_detail=detail)
+            if self.status_server is not None:
+                self.status_server.update({
+                    "backend": backend,
+                    "round": round_index,
+                    "elapsed": elapsed,
+                    "coverage_percent": coverage_percent,
+                    "covered_lines": covered_count,
+                    "paths_completed": paths_completed,
+                    "bugs_found": bugs_found,
+                    "candidates": self._total_candidates(),
+                    "live_workers": len(self.handles),
+                    "draining_workers": len(self._draining),
+                    "queues": queues,
+                })
             round_index += 1
 
             # 4b. Periodic checkpoint.  Skipped on rounds with failures: the
@@ -1110,6 +1232,9 @@ class ProcessCloud9Cluster:
             # any survivor's report, so a snapshot now would lose it.
             if checkpoint_due and result.worker_failures == failures_before:
                 self._write_checkpoint(round_index, statuses)
+                if tracer.enabled:
+                    tracer.emit("checkpoint_written", round=round_index,
+                                path=config.checkpoint_path)
 
             # 5. Termination checks (same order as the in-process cluster).
             if (lim.coverage_target is not None
@@ -1136,9 +1261,24 @@ class ProcessCloud9Cluster:
         # Cumulative across resume_from= segments: the checkpoint carries the
         # wall time already spent, this run adds its own elapsed time.
         result.wall_time = self._base_wall + (time.monotonic() - start)
-        return self._finalize(result, round_index)
+        final = self._finalize(result, round_index)
+        if tracer.enabled:
+            tracer.emit("solver_query", **{
+                key: value for key, value in final.cache_stats.items()
+                if isinstance(value, int) and value})
+            tracer.emit("run_finished", rounds=final.rounds_executed,
+                        paths=final.paths_completed,
+                        coverage_percent=final.coverage_percent,
+                        bugs=len(final.bugs),
+                        useful=final.total_useful_instructions,
+                        replay=final.total_replay_instructions,
+                        exhausted=final.exhausted,
+                        goal_reached=final.goal_reached,
+                        wall_time=final.wall_time)
+        return final
 
-    def _execute_transfer(self, command, result: ClusterResult) -> int:
+    def _execute_transfer(self, command, result: ClusterResult,
+                          round_index: int = 0) -> int:
         """Broker one source->destination job transfer; returns jobs moved."""
         by_id = {h.worker_id: h for h in self.handles}
         source = by_id.get(command.source)
@@ -1175,6 +1315,11 @@ class ProcessCloud9Cluster:
             self._flush_recovery(result)
             return 0
         destination.queue_length += imported.imported
+        if self.tracer.enabled and imported.imported:
+            self.tracer.emit("job_transferred", round=round_index,
+                             source=command.source,
+                             destination=command.destination,
+                             jobs=imported.imported)
         # Keep the balancer's view fresh within this round.
         for handle in (source, destination):
             report = self.load_balancer.reports.get(handle.worker_id)
@@ -1227,6 +1372,14 @@ class ProcessCloud9Cluster:
         result.messages_sent = self.messages_sent
         result.transfer_cost = TransferCost.from_worker_stats(
             result.worker_stats.values())
-        result.cache_stats = aggregate_cache_counters(
-            f.cache_counters for f in finals)
+        # Dead workers never sent a FinalReply; their last piggybacked
+        # counters (from the status replies) still enter the aggregate so
+        # the run's cache hit rates reflect the whole fleet.
+        finalized_ids = {f.worker_id for f in finals}
+        counter_maps = [f.cache_counters for f in finals]
+        counter_maps.extend(
+            counters
+            for worker_id, counters in self._failed_cache_counters.items()
+            if worker_id not in finalized_ids)
+        result.cache_stats = aggregate_cache_counters(counter_maps)
         return result

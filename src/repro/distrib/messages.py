@@ -23,8 +23,8 @@ from repro.engine.errors import BugReport
 from repro.engine.test_case import TestCase
 
 __all__ = [
-    "SeedCommand", "ExploreCommand", "ExportCommand", "ImportCommand",
-    "FinalizeCommand", "StopCommand",
+    "SeedCommand", "ExploreCommand", "DrainStatusCommand", "ExportCommand",
+    "ImportCommand", "FinalizeCommand", "StopCommand",
     "ReadyReply", "StatusReply", "ExportReply", "ImportReply", "FinalReply",
     "ErrorReply",
 ]
@@ -53,6 +53,23 @@ class ExploreCommand:
 
     budget: int
     global_coverage_bits: Optional[int] = None
+    report_frontier: bool = False
+    #: Buffer trace events (:class:`repro.obs.trace.BufferTracer`) and
+    #: attach them to status replies; set once the coordinator runs traced.
+    trace: bool = False
+
+
+@dataclass(frozen=True)
+class DrainStatusCommand:
+    """Report status without exploring (the lightweight drain heartbeat).
+
+    Draining members used to answer zero-budget :class:`ExploreCommand`\\ s
+    to stay visible; this carries none of the explore machinery (no global
+    coverage merge, no budget bookkeeping) and says what it is on the wire.
+    ``report_frontier`` has the same checkpoint-round meaning as on
+    :class:`ExploreCommand`.
+    """
+
     report_frontier: bool = False
 
 
@@ -120,6 +137,14 @@ class StatusReply:
     #: self-contained without inflating the steady-state wire cost.
     bugs: Optional[Tuple[BugReport, ...]] = None
     test_cases: Optional[Tuple[TestCase, ...]] = None
+    #: Buffered trace events since the last reply (only when the run is
+    #: traced; the coordinator ingests them into the single trace file).
+    events: Optional[Tuple[Dict, ...]] = None
+    #: The worker solver's raw cache/solver counters.  Piggybacked on every
+    #: status so the coordinator holds a last-known copy: when a worker dies
+    #: before its FinalReply, these counters still enter the aggregate and
+    #: post-recovery cache hit rates are not inflated.
+    cache_counters: Optional[Dict[str, int]] = None
 
 
 @dataclass(frozen=True)

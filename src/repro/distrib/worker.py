@@ -22,6 +22,7 @@ from typing import Optional, Sequence
 from repro.cluster.jobs import Job, JobTree
 from repro.cluster.worker import Worker
 from repro.distrib.messages import (
+    DrainStatusCommand,
     ErrorReply,
     ExploreCommand,
     ExportCommand,
@@ -35,6 +36,7 @@ from repro.distrib.messages import (
     StatusReply,
     StopCommand,
 )
+from repro.obs.trace import BufferTracer
 
 __all__ = ["DistribWorker", "worker_main"]
 
@@ -48,6 +50,9 @@ class DistribWorker:
         executor = test.build_executor()
         self.worker = Worker(worker_id, executor, test.build_initial_state,
                              strategy_name=strategy or test.strategy)
+        # Created on the first traced ExploreCommand; buffered events ride
+        # back to the coordinator on every status reply.
+        self.tracer: Optional[BufferTracer] = None
 
     @property
     def line_count(self) -> int:
@@ -62,6 +67,9 @@ class DistribWorker:
             return self.status()
         if isinstance(command, ExploreCommand):
             return self._explore(command)
+        if isinstance(command, DrainStatusCommand):
+            # The drain heartbeat: a draining member reports, never explores.
+            return self.status(include_frontier=command.report_frontier)
         if isinstance(command, ExportCommand):
             return self._export(command)
         if isinstance(command, ImportCommand):
@@ -95,9 +103,14 @@ class DistribWorker:
             frontier=frontier,
             bugs=bugs,
             test_cases=test_cases,
+            events=(tuple(self.tracer.drain())
+                    if self.tracer is not None else None),
+            cache_counters=worker.executor.solver.cache_counters(),
         )
 
     def _explore(self, command: ExploreCommand) -> StatusReply:
+        if command.trace and self.tracer is None:
+            self.tracer = BufferTracer()
         if command.global_coverage_bits is not None:
             new_lines = self.worker.coverage_view.merge_global(
                 command.global_coverage_bits)
@@ -107,7 +120,12 @@ class DistribWorker:
             # strategy selects them; a job whose replay breaks (divergence or
             # premature termination) is reported in ``broken_replays`` and
             # its node dropped -- the worker itself keeps going.
-            self.worker.explore(command.budget)
+            if self.tracer is not None:
+                with self.tracer.span("explore", worker=self.worker_id,
+                                      budget=command.budget):
+                    self.worker.explore(command.budget)
+            else:
+                self.worker.explore(command.budget)
         return self.status(include_frontier=command.report_frontier)
 
     def _export(self, command: ExportCommand) -> ExportReply:

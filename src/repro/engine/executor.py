@@ -32,6 +32,8 @@ from repro.engine.test_case import TestCase, generate_test_case
 from repro.engine.tree import ExecutionTree, NodeStatus, TreeNode
 from repro.lang.ast import Program
 from repro.lang.compiler import CompiledProgram, compile_program
+from repro.obs.metrics import CounterField, bind_counters, counter_fields
+from repro.obs.trace import NULL_TRACER, Tracer
 from repro.solver.solver import Solver
 
 @dataclass
@@ -96,6 +98,12 @@ StateFactory = Callable[[], ExecutionState]
 class SymbolicExecutor:
     """A single-node symbolic execution engine for one compiled program."""
 
+    # Global exploration statistics (across run()/step() calls), registry-
+    # backed (:mod:`repro.obs.metrics`) so the live-status/trace layer sees
+    # them without extra plumbing.  Read/write surface is unchanged.
+    total_instructions = CounterField("engine_instructions")
+    paths_completed = CounterField("engine_paths_completed")
+
     def __init__(self, program: Union[Program, CompiledProgram],
                  config: Optional[EngineConfig] = None,
                  solver: Optional[Solver] = None,
@@ -112,12 +120,13 @@ class SymbolicExecutor:
         self.interpreter = Interpreter(self.solver, self.natives, self.config)
         self.interpreter.executor = self
 
-        # Global exploration statistics (across run()/step() calls).
-        self.total_instructions = 0
+        #: One registry per engine, shared with the solver and its caches
+        #: (and, on clusters, with the owning worker's ``WorkerStats``).
+        self.metrics = self.solver.metrics
+        bind_counters(self, counter_fields(type(self)), self.metrics)
         self.covered_lines: Set[int] = set()
         self.bugs: List[BugReport] = []
         self.test_cases: List[TestCase] = []
-        self.paths_completed = 0
 
         # Environment models (e.g. the POSIX model) register natives and
         # per-state initialization hooks through installers.
@@ -291,6 +300,16 @@ class SymbolicExecutor:
         bugs_at_start = len(self.bugs)
         solver_stats_at_start = self.solver.stats.snapshot()
 
+        tracer = Tracer(lim.trace_path) if lim.trace_path else NULL_TRACER
+        tracer.emit("run_started", backend="single", workers=1,
+                    test=self.program.name, line_count=result.line_count)
+        # The single engine has no rounds; every ``trace_round`` steps it
+        # emits a pseudo round so coverage-over-time still renders.
+        trace_round = 256
+        traced_rounds = 0
+        traced_bugs = bugs_at_start
+        traced_prev_useful = 0
+
         while candidates:
             if max_steps is not None and result.steps >= max_steps:
                 break
@@ -313,6 +332,19 @@ class SymbolicExecutor:
             result.steps += 1
             self._apply_step_to_tree(tree, node, step_result, candidates, strategy)
 
+            if tracer.enabled:
+                while len(self.bugs) > traced_bugs:
+                    bug = self.bugs[traced_bugs]
+                    traced_bugs += 1
+                    tracer.emit("bug_found", kind=bug.kind.name,
+                                message=bug.message)
+                if result.steps % trace_round == 0:
+                    traced_prev_useful = self._trace_round(
+                        tracer, traced_rounds, start, result,
+                        instructions_at_start, paths_at_start, candidates,
+                        traced_prev_useful)
+                    traced_rounds += 1
+
         result.exhausted = not candidates
         result.paths_completed = self.paths_completed - paths_at_start
         result.bugs = list(self.bugs)
@@ -322,7 +354,47 @@ class SymbolicExecutor:
         result.states_remaining = len(candidates)
         result.wall_time = time.monotonic() - start
         result.solver_stats = self.solver.stats.delta_since(solver_stats_at_start)
+        if tracer.enabled:
+            self._trace_round(tracer, traced_rounds, start, result,
+                              instructions_at_start, paths_at_start, candidates,
+                              traced_prev_useful)
+            tracer.emit("solver_query", **{k: v for k, v
+                                           in result.solver_stats.items() if v})
+            tracer.emit("run_finished", paths=result.paths_completed,
+                        coverage_percent=round(result.coverage_percent, 3),
+                        bugs=len(result.bugs), steps=result.steps,
+                        instructions=result.instructions_executed,
+                        exhausted=result.exhausted,
+                        wall_time=round(result.wall_time, 6))
+            tracer.close()
         return result
+
+    def _trace_round(self, tracer, round_index: int, start: float,
+                     result: ExplorationResult, instructions_at_start: int,
+                     paths_at_start: int, candidates: Dict[int, TreeNode],
+                     prev_useful: int) -> int:
+        """One pseudo ``round_completed`` event (single-engine time series).
+
+        Like the cluster events, ``useful``/``replay`` are this round's
+        increments, not cumulative totals.  Returns the new cumulative
+        useful-instruction count for the next delta.
+        """
+        covered = len(self.covered_lines)
+        percent = (100.0 * covered / result.line_count
+                   if result.line_count else 0.0)
+        total_useful = self.total_instructions - instructions_at_start
+        useful = total_useful - prev_useful
+        tracer.emit(
+            "round_completed", round=round_index,
+            elapsed=round(time.monotonic() - start, 6),
+            coverage_percent=round(percent, 3), covered_lines=covered,
+            paths=self.paths_completed - paths_at_start,
+            candidates=len(candidates), workers=1,
+            useful=useful, replay=0, transferred=0,
+            queues={0: len(candidates)},
+            workers_detail={0: {"useful": useful, "replay": 0,
+                                "queue": len(candidates)}})
+        return total_useful
 
     def _apply_step_to_tree(self, tree: ExecutionTree, node: TreeNode,
                             step_result: StepResult,

@@ -43,6 +43,12 @@ class ExplorationLimits:
     * ``max_paths`` -- complete this many paths.
     * ``coverage_target`` -- reach this line-coverage percentage.
     * ``stop_on_first_bug`` -- stop as soon as any bug is reported.
+
+    Run settings (neither budget nor goal):
+
+    * ``trace_path`` -- write a structured JSONL event trace of the run to
+      this file (:mod:`repro.obs.trace`); ``None`` disables tracing
+      entirely (the no-op tracer, zero overhead).
     """
 
     max_steps: Optional[int] = None
@@ -52,6 +58,7 @@ class ExplorationLimits:
     max_wall_time: Optional[float] = None
     coverage_target: Optional[float] = None
     stop_on_first_bug: bool = False
+    trace_path: Optional[str] = None
 
     def __post_init__(self) -> None:
         for name in ("max_steps", "max_paths", "max_instructions", "max_rounds"):
@@ -94,8 +101,12 @@ class ExplorationLimits:
 
     @property
     def unbounded(self) -> bool:
-        """True when no budget or goal is set (pure exhaustive exploration)."""
-        return all(getattr(self, f.name) in (None, False) for f in fields(self))
+        """True when no budget or goal is set (pure exhaustive exploration).
+
+        ``trace_path`` is a run setting, not a budget: a traced run with no
+        limits is still unbounded."""
+        return all(getattr(self, f.name) in (None, False) for f in fields(self)
+                   if f.name != "trace_path")
 
     def satisfied_by(self, paths_completed: int, coverage_percent: float,
                      bug_count: int) -> bool:

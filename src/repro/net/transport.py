@@ -44,6 +44,7 @@ from repro.net.framing import (
     encode_message,
 )
 from repro.net.heartbeat import HeartbeatMonitor
+from repro.obs.metrics import MetricsRegistry
 
 __all__ = [
     "PROTOCOL_VERSION",
@@ -57,7 +58,9 @@ __all__ = [
 #: to the framing, the handshake, or the command/reply message set; the
 #: handshake rejects mismatches so a stale agent fails fast with a clear
 #: reason instead of desynchronizing mid-run.
-PROTOCOL_VERSION = 1
+#: v2: ExploreCommand.trace, DrainStatusCommand, StatusReply events and
+#: cache_counters (the observability message set).
+PROTOCOL_VERSION = 2
 
 
 # -- handshake messages ------------------------------------------------------------------
@@ -259,11 +262,19 @@ class TcpTransport(Transport):
 
     def __init__(self, sock: socket.socket, peer: str,
                  max_frame_size: int = DEFAULT_MAX_FRAME_SIZE,
-                 heartbeat: Optional[HeartbeatMonitor] = None):
+                 heartbeat: Optional[HeartbeatMonitor] = None,
+                 metrics: Optional[MetricsRegistry] = None):
         self._sock = sock
         self.peer = peer
         self.max_frame_size = max_frame_size
         self.heartbeat = heartbeat
+        # Wire accounting.  A shared registry (one per coordinator) yields
+        # fleet totals; the default private registry keeps per-peer counts.
+        self.metrics = metrics or MetricsRegistry()
+        self._frames_sent = self.metrics.counter("net_frames_sent")
+        self._bytes_sent = self.metrics.counter("net_bytes_sent")
+        self._frames_received = self.metrics.counter("net_frames_received")
+        self._bytes_received = self.metrics.counter("net_bytes_received")
         self._send_lock = threading.Lock()
         self._inbox: "queue_module.Queue[object]" = queue_module.Queue()
         self._receiver: Optional[threading.Thread] = None
@@ -284,6 +295,8 @@ class TcpTransport(Transport):
         except OSError as exc:
             raise TransportClosed(
                 "connection to %s is closed: %s" % (self.peer, exc)) from exc
+        self._frames_sent.inc()
+        self._bytes_sent.inc(len(data))
 
     def send(self, message: object) -> None:
         if self._closed:
@@ -322,7 +335,9 @@ class TcpTransport(Transport):
                     return
                 if not data:  # orderly EOF
                     return
+                self._bytes_received.inc(len(data))
                 for payload in decoder.feed(data):
+                    self._frames_received.inc()
                     if self.heartbeat is not None:
                         self.heartbeat.beat()
                     if not payload:  # heartbeat ping

@@ -1,0 +1,279 @@
+"""Structured JSONL event tracing: one run, one ordered trace file.
+
+The trace is the raw material for every paper figure the report renders
+(coverage over time, per-worker utilization, transfer timelines), so the
+format is deliberately boring: one JSON object per line, append-only.
+
+Envelope keys, identical on every backend:
+
+``seq``
+    Strictly increasing per-file sequence number (trace-integrity tests
+    key off it).
+``ts``
+    Seconds since the tracer was opened, from ``time.monotonic`` --
+    immune to wall-clock steps, comparable within one file only.
+``event``
+    The event name (``run_started``, ``round_completed``, ...).
+``run``
+    Short random run id, so concatenated traces stay attributable.
+``worker`` / ``round``
+    Present where meaningful.
+
+Everything else is event-specific payload.  Writers use a single
+``os.write`` on an ``O_APPEND`` fd per event, so concurrent emitters
+(threaded backend) never interleave partial lines; a reader only ever
+sees whole lines plus at most one truncated final line after a crash,
+which :func:`load_trace` tolerates.
+
+Workers on the process and TCP backends cannot write the coordinator's
+file; they buffer events in a :class:`BufferTracer` and piggyback them on
+their next status reply, and the coordinator re-stamps them into the
+single ordered file (the worker-local timestamp survives as ``wts``).
+
+:data:`NULL_TRACER` is the disabled path: ``enabled`` is ``False`` and
+every method is a no-op, so call sites guard hot-path payload building
+with ``if tracer.enabled:`` and pay nothing when tracing is off.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import threading
+import time
+import uuid
+from typing import Any, Dict, Iterable, List, Optional
+
+__all__ = ["Tracer", "NullTracer", "NULL_TRACER", "BufferTracer", "load_trace"]
+
+
+class Tracer:
+    """Process-safe JSONL trace writer.
+
+    The file is truncated on open (one run, one trace) and then written
+    with atomic ``O_APPEND`` single-write records.  ``emit`` drops keys
+    whose value is ``None`` so call sites can pass optional fields
+    unconditionally.
+    """
+
+    enabled = True
+
+    def __init__(self, path: str, run_id: Optional[str] = None):
+        self.path = str(path)
+        self.run_id = run_id or uuid.uuid4().hex[:8]
+        self._fd: Optional[int] = os.open(
+            self.path, os.O_WRONLY | os.O_CREAT | os.O_TRUNC | os.O_APPEND,
+            0o644)
+        self._lock = threading.Lock()
+        self._seq = 0
+        self._epoch = time.monotonic()
+
+    # -- core ---------------------------------------------------------------------------
+
+    def emit(self, event: str, *, worker: Optional[int] = None,
+             round: Optional[int] = None, ts: Optional[float] = None,
+             **fields: Any) -> None:
+        """Append one event record.  ``ts`` defaults to now (tracer clock)."""
+        if self._fd is None:
+            return
+        record: Dict[str, Any] = {
+            "seq": 0,  # patched under the lock below
+            "ts": ts if ts is not None else time.monotonic() - self._epoch,
+            "event": event,
+            "run": self.run_id,
+        }
+        if worker is not None:
+            record["worker"] = worker
+        if round is not None:
+            record["round"] = round
+        for key, value in fields.items():
+            if value is not None:
+                record[key] = value
+        with self._lock:
+            if self._fd is None:
+                return
+            self._seq += 1
+            record["seq"] = self._seq
+            data = json.dumps(record, default=str) + "\n"
+            os.write(self._fd, data.encode("utf-8"))
+
+    def ingest(self, events: Iterable[Dict[str, Any]],
+               worker: Optional[int] = None) -> None:
+        """Write worker-forwarded events under coordinator ``seq``/``ts``.
+
+        The worker's own monotonic timestamp (its ``ts``) is preserved as
+        ``wts`` -- worker clocks are not comparable to the coordinator's,
+        but intra-worker ordering and durations still are.
+        """
+        for event in events:
+            fields = dict(event)
+            name = fields.pop("event", "worker_event")
+            fields.pop("seq", None)
+            fields.pop("run", None)
+            wts = fields.pop("ts", None)
+            if wts is not None:
+                fields["wts"] = wts
+            who = fields.pop("worker", worker)
+            rnd = fields.pop("round", None)
+            self.emit(name, worker=who, round=rnd, **fields)
+
+    def span(self, phase: str, **fields: Any):
+        """Context manager timing a phase; emits one ``span`` event on exit."""
+        return _Span(self, phase, fields)
+
+    def close(self) -> None:
+        with self._lock:
+            fd, self._fd = self._fd, None
+        if fd is not None:
+            os.close(fd)
+
+    def __enter__(self) -> "Tracer":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+
+class _Span:
+    __slots__ = ("_tracer", "_phase", "_fields", "_start")
+
+    def __init__(self, tracer, phase: str, fields: Dict[str, Any]):
+        self._tracer = tracer
+        self._phase = phase
+        self._fields = fields
+        self._start = 0.0
+
+    def __enter__(self) -> "_Span":
+        self._start = time.monotonic()
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self._tracer.emit("span", phase=self._phase,
+                          duration=time.monotonic() - self._start,
+                          **self._fields)
+
+
+class NullTracer:
+    """The tracing-off path: every operation is a no-op.
+
+    ``enabled`` is ``False`` so hot paths can skip building event payloads
+    entirely -- disabled tracing costs one attribute check.
+    """
+
+    enabled = False
+    run_id = ""
+    path = None
+
+    def emit(self, event: str, **fields: Any) -> None:
+        pass
+
+    def ingest(self, events: Iterable[Dict[str, Any]],
+               worker: Optional[int] = None) -> None:
+        pass
+
+    def span(self, phase: str, **fields: Any) -> "_NullSpan":
+        return _NULL_SPAN
+
+    def close(self) -> None:
+        pass
+
+    def __enter__(self) -> "NullTracer":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        pass
+
+
+class _NullSpan:
+    def __enter__(self):
+        return self
+
+    def __exit__(self, *exc):
+        pass
+
+
+_NULL_SPAN = _NullSpan()
+
+#: Shared no-op tracer; ``tracer = NULL_TRACER`` is the disabled default
+#: everywhere a component holds a tracer.
+NULL_TRACER = NullTracer()
+
+
+class BufferTracer:
+    """Worker-side event buffer for the process and TCP backends.
+
+    Workers cannot append to the coordinator's file, so they collect
+    events as plain dicts and the coordinator drains them over the status
+    channel (one reply per command; the buffer rides along) into the real
+    :class:`Tracer` via :meth:`Tracer.ingest`.  Bounded: beyond
+    ``capacity`` events between drains, new events are counted but
+    dropped, and the drop count is emitted as a ``trace_events_dropped``
+    event on the next drain.
+    """
+
+    enabled = True
+
+    def __init__(self, capacity: int = 10_000):
+        self.capacity = capacity
+        self._events: List[Dict[str, Any]] = []
+        self._dropped = 0
+        self._epoch = time.monotonic()
+
+    def emit(self, event: str, *, worker: Optional[int] = None,
+             round: Optional[int] = None, **fields: Any) -> None:
+        if len(self._events) >= self.capacity:
+            self._dropped += 1
+            return
+        record: Dict[str, Any] = {
+            "ts": time.monotonic() - self._epoch,
+            "event": event,
+        }
+        if worker is not None:
+            record["worker"] = worker
+        if round is not None:
+            record["round"] = round
+        for key, value in fields.items():
+            if value is not None:
+                record[key] = value
+        self._events.append(record)
+
+    def span(self, phase: str, **fields: Any) -> _Span:
+        return _Span(self, phase, fields)
+
+    def drain(self) -> List[Dict[str, Any]]:
+        """Return buffered events and reset the buffer."""
+        events, self._events = self._events, []
+        if self._dropped:
+            events.append({
+                "ts": time.monotonic() - self._epoch,
+                "event": "trace_events_dropped",
+                "count": self._dropped,
+            })
+            self._dropped = 0
+        return events
+
+    def close(self) -> None:
+        self._events = []
+
+
+def load_trace(path: str) -> List[Dict[str, Any]]:
+    """Parse a JSONL trace, tolerating one truncated final line.
+
+    A coordinator SIGKILL can leave a partial last record (the ``O_APPEND``
+    write was cut); everything before it is still whole lines.  A parse
+    error anywhere *except* the final line is a real corruption and
+    raises.
+    """
+    events: List[Dict[str, Any]] = []
+    with open(path, "r", encoding="utf-8") as fh:
+        lines = fh.read().splitlines()
+    for index, line in enumerate(lines):
+        if not line.strip():
+            continue
+        try:
+            events.append(json.loads(line))
+        except json.JSONDecodeError:
+            if index == len(lines) - 1:
+                break  # torn final write -- expected after a crash
+            raise
+    return events

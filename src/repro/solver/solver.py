@@ -18,9 +18,10 @@ terminates quickly; a configurable step budget bounds pathological cases.
 from __future__ import annotations
 
 import enum
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
+from repro.obs.metrics import CounterField, MetricsRegistry, bind_counters, counter_fields
 from repro.solver.cache import ConstraintCache, CounterexampleCache, QueryKey, query_key
 from repro.solver.expr import Expr, Op, evaluate
 from repro.solver.independence import partition
@@ -39,25 +40,47 @@ class SolverResult(enum.Enum):
     UNKNOWN = "unknown"
 
 
-@dataclass
 class SolverStats:
-    """Counters exposed for the evaluation harness."""
+    """Counters exposed for the evaluation harness.
 
-    queries: int = 0
-    sat_queries: int = 0
-    unsat_queries: int = 0
-    unknown_queries: int = 0
-    cache_hits: int = 0
-    search_steps: int = 0
+    A view over a :class:`~repro.obs.metrics.MetricsRegistry`: with a
+    registry, each field lives in a shared counter (named after the
+    :meth:`~Solver.cache_counters` key where one exists, e.g.
+    ``solver_queries``) so the status server and trace see live values;
+    without one it behaves like the plain dataclass it replaces.
+    """
+
+    queries = CounterField("solver_queries")
+    sat_queries = CounterField("solver_sat_queries")
+    unsat_queries = CounterField("solver_unsat_queries")
+    unknown_queries = CounterField("solver_unknown_queries")
+    cache_hits = CounterField("solver_cache_hits")
+    search_steps = CounterField("solver_search_steps")
     # Independence layer (KLEE's IndependentSolver): every query is split
     # into groups of constraints connected by shared symbols, and each group
     # is resolved separately (see :mod:`repro.solver.independence`).
-    independence_groups: int = 0
-    groups_solved: int = 0
-    independence_hits: int = 0
+    independence_groups = CounterField("independence_groups")
+    groups_solved = CounterField("groups_solved")
+    independence_hits = CounterField("independence_hits")
     # Memoized budget-exhaustion verdicts (re-testing the same hard fork
     # must not re-pay the full search budget).
-    unknown_cache_hits: int = 0
+    unknown_cache_hits = CounterField("unknown_cache_hits")
+
+    def __init__(self, *, registry: Optional[MetricsRegistry] = None,
+                 **counts: int):
+        fields = counter_fields(type(self))
+        unknown = set(counts) - set(fields)
+        if unknown:
+            raise TypeError("unknown SolverStats field(s): %s"
+                            % ", ".join(sorted(unknown)))
+        bind_counters(self, fields, registry)
+        for name, value in counts.items():
+            setattr(self, name, value)
+
+    def __repr__(self) -> str:
+        body = ", ".join("%s=%d" % (name, getattr(self, name))
+                         for name in counter_fields(type(self)))
+        return "SolverStats(%s)" % body
 
     def snapshot(self) -> Dict[str, int]:
         return {
@@ -96,11 +119,16 @@ class SolverConfig:
 class Solver:
     """Bitvector constraint solver with caching."""
 
-    def __init__(self, config: Optional[SolverConfig] = None):
+    def __init__(self, config: Optional[SolverConfig] = None,
+                 metrics: Optional[MetricsRegistry] = None):
         self.config = config or SolverConfig()
-        self.stats = SolverStats()
-        self._cache = ConstraintCache()
-        self._cex_cache = CounterexampleCache()
+        #: The registry behind every counter this solver (and its caches)
+        #: bumps; shared upward by the executor and worker stats so one
+        #: worker's accounting snapshots as one flat dict.
+        self.metrics = metrics or MetricsRegistry()
+        self.stats = SolverStats(registry=self.metrics)
+        self._cache = ConstraintCache(registry=self.metrics)
+        self._cex_cache = CounterexampleCache(registry=self.metrics)
         # Recently found models: checking a new query against them is far
         # cheaper than a fresh search and succeeds very often because path
         # constraints grow incrementally.

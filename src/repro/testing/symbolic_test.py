@@ -122,7 +122,9 @@ class SymbolicTest:
         ``checkpoint_path=`` config knobs that produce the checkpoints;
         ``autoscale=`` an :class:`~repro.cluster.autoscale.AutoscalePolicy`
         (or ``True`` for the defaults) to let those same backends grow and
-        shrink the cluster mid-run from queue pressure and round wall time).
+        shrink the cluster mid-run from queue pressure and round wall time;
+        ``trace_path=`` to write the run's structured JSONL event trace,
+        on every backend -- see :mod:`repro.obs`).
         """
         from repro.api.runner import run_test
         return run_test(self, backend=backend, limits=limits, **options)

@@ -1,0 +1,267 @@
+"""End-to-end observability: one trace per run on every backend, trace
+integrity through faults, drain heartbeats, and dead-worker cache counters."""
+
+import multiprocessing
+import os
+import signal
+import time
+
+import pytest
+
+from repro.api import ExplorationLimits
+from repro.distrib import specs
+from repro.distrib.cluster import ProcessCloud9Cluster, ProcessClusterConfig
+from repro.distrib.messages import (
+    DrainStatusCommand,
+    ExploreCommand,
+    SeedCommand,
+)
+from repro.distrib.worker import DistribWorker
+from repro.obs.report import analyze_trace
+from repro.obs.trace import load_trace
+from repro.testing.symbolic_test import SymbolicTest
+
+from conftest import branchy_program
+
+fork_available = "fork" in multiprocessing.get_all_start_methods()
+needs_fork = pytest.mark.skipif(
+    not fork_available,
+    reason="process-backed tests need the fork start method")
+
+#: Every backend stamps round_completed with exactly these payload keys.
+ROUND_KEYS = {"round", "elapsed", "coverage_percent", "covered_lines",
+              "paths", "candidates", "workers", "useful", "replay",
+              "transferred", "queues", "workers_detail"}
+ENVELOPE_KEYS = {"seq", "ts", "event", "run"}
+
+
+def _branchy_test():
+    return SymbolicTest(name="obs-branchy", program=branchy_program(3),
+                        use_posix_model=False)
+
+
+def _assert_trace_shape(events, backend):
+    names = [e["event"] for e in events]
+    assert names.count("run_started") == 1, backend
+    assert names.count("run_finished") == 1, backend
+    assert names[0] == "run_started", backend
+    assert names[-1] == "run_finished", backend
+    rounds = [e for e in events if e["event"] == "round_completed"]
+    assert rounds, backend
+    for event in rounds:
+        assert set(event) - ENVELOPE_KEYS == ROUND_KEYS, backend
+    # Satellite: round indices strictly increase, seq strictly increases.
+    indices = [e["round"] for e in rounds]
+    assert indices == sorted(set(indices)), backend
+    seqs = [e["seq"] for e in events]
+    assert seqs == sorted(seqs) and len(set(seqs)) == len(seqs), backend
+    assert events[0]["backend"] == backend
+
+
+class TestTracePerBackend:
+    @pytest.mark.parametrize("backend", ["single", "cluster", "threaded"])
+    def test_in_process_backends_trace(self, backend, tmp_path):
+        path = tmp_path / f"{backend}.jsonl"
+        options = {} if backend == "single" else {"workers": 2}
+        result = _branchy_test().run(backend=backend, max_rounds=200,
+                                     trace_path=str(path), **options)
+        assert result.paths_completed > 0
+        events = load_trace(str(path))
+        _assert_trace_shape(events, backend)
+        # The report reduces any backend's trace to the paper views.
+        analysis = analyze_trace(events)
+        assert analysis["coverage_over_time"]
+        assert analysis["worker_utilization"]
+        useful = sum(u["useful"]
+                     for u in analysis["worker_utilization"].values())
+        assert useful == result.useful_instructions
+
+    @needs_fork
+    @pytest.mark.parametrize("transport", ["mp", "tcp"])
+    def test_process_backends_trace(self, transport, tmp_path):
+        path = tmp_path / f"{transport}.jsonl"
+        config = ProcessClusterConfig(
+            num_workers=2, instructions_per_round=400, transport=transport,
+            spawn_local_agents=(transport == "tcp"))
+        cluster = ProcessCloud9Cluster("printf", {"format_length": 2},
+                                       config=config)
+        result = cluster.run(limits=ExplorationLimits(
+            max_rounds=30, trace_path=str(path)))
+        assert result.paths_completed > 0
+        events = load_trace(str(path))
+        _assert_trace_shape(events,
+                            "tcp" if transport == "tcp" else "process")
+        # Worker-side explore spans were forwarded and re-stamped.
+        spans = [e for e in events if e["event"] == "span"]
+        assert spans and all("wts" in e and "duration" in e for e in spans)
+
+    def test_no_trace_file_without_trace_path(self, tmp_path):
+        result = _branchy_test().run(backend="cluster", workers=2,
+                                     max_rounds=50)
+        assert result.paths_completed > 0
+        assert list(tmp_path.iterdir()) == []
+
+
+class TestElapsedTimeline:
+    """Satellite: RoundSnapshot.elapsed on both cluster backends."""
+
+    def test_in_process_cluster_elapsed(self):
+        result = _branchy_test().run(backend="cluster", workers=2,
+                                     max_rounds=50)
+        series = result.timeline.elapsed_series()
+        assert len(series) == result.rounds_executed
+        assert all(b > a for a, b in zip(series, series[1:]))
+        assert all(s.elapsed > 0.0 for s in result.timeline.snapshots)
+
+    @needs_fork
+    def test_process_cluster_elapsed(self):
+        config = ProcessClusterConfig(num_workers=2,
+                                      instructions_per_round=400)
+        cluster = ProcessCloud9Cluster("printf", {"format_length": 2},
+                                       config=config)
+        result = cluster.run(limits=ExplorationLimits(max_rounds=20))
+        series = result.timeline.elapsed_series()
+        assert series and all(b > a for a, b in zip(series, series[1:]))
+
+
+class TestDrainStatus:
+    """Satellite: draining members answer a status-only heartbeat."""
+
+    def test_worker_handles_drain_status_without_exploring(self):
+        test = specs.resolve_test("printf", format_length=2)
+        worker = DistribWorker(1, test)
+        worker.handle(SeedCommand())
+        worker.handle(ExploreCommand(budget=200))
+        before = worker.worker.stats.useful_instructions
+        reply = worker.handle(DrainStatusCommand())
+        assert worker.worker.stats.useful_instructions == before
+        assert reply.queue_length == worker.worker.queue_length
+        assert reply.frontier is None
+        with_frontier = worker.handle(DrainStatusCommand(report_frontier=True))
+        assert with_frontier.frontier is not None
+
+    @needs_fork
+    def test_drain_is_traced(self, tmp_path):
+        path = tmp_path / "drain.jsonl"
+        config = ProcessClusterConfig(num_workers=3,
+                                      instructions_per_round=300)
+        cluster = ProcessCloud9Cluster("printf", {"format_length": 2},
+                                       config=config)
+
+        def hook(round_index, cl):
+            if round_index == 2 and len(cl.live_worker_ids) == 3:
+                cl.remove_worker(cl.live_worker_ids[-1])
+
+        cluster.round_hook = hook
+        result = cluster.run(limits=ExplorationLimits(
+            max_rounds=60, trace_path=str(path)))
+        assert result.workers_removed == 1
+        names = [e["event"] for e in load_trace(str(path))]
+        assert "worker_draining" in names
+        assert "worker_left" in names
+
+
+class TestFaultTracing:
+    """Satellites: worker_died/worker_respawned pairing in the trace, and
+    dead workers' cache counters surviving into the aggregate."""
+
+    @needs_fork
+    def test_sigkill_traced_and_cache_counters_aggregated(self, tmp_path):
+        path = tmp_path / "kill.jsonl"
+        config = ProcessClusterConfig(num_workers=2,
+                                      instructions_per_round=200,
+                                      respawn=True, reply_timeout=2.0)
+        cluster = ProcessCloud9Cluster("printf", {"format_length": 2},
+                                       config=config)
+        state = {}
+
+        def hook(round_index, cl):
+            if round_index == 3 and "victim" not in state:
+                victim = cl.handles[0]
+                state["victim"] = victim.worker_id
+                os.kill(victim.process.pid, signal.SIGKILL)
+
+        cluster.round_hook = hook
+        result = cluster.run(limits=ExplorationLimits(
+            max_rounds=60, trace_path=str(path)))
+        assert result.worker_failures == 1 and result.respawns == 1
+        victim = state["victim"]
+
+        events = load_trace(str(path))
+        died = [e for e in events if e["event"] == "worker_died"]
+        respawned = [e for e in events if e["event"] == "worker_respawned"]
+        recovered = [e for e in events if e["event"] == "jobs_recovered"]
+        assert [e["worker"] for e in died] == [victim]
+        # Every death under respawn=True pairs with a respawn AND recovery.
+        assert len(respawned) == len(died) == 1
+        assert recovered and all(e["jobs"] >= 1 for e in recovered)
+        # The respawn and recovery happen after the death in trace order.
+        assert respawned[0]["seq"] > died[0]["seq"]
+        assert all(e["seq"] > died[0]["seq"] for e in recovered)
+
+        # Dead-worker cache counters: the victim never sent a FinalReply,
+        # yet its piggybacked counters are in the aggregate.
+        assert victim not in result.worker_stats
+        failed = cluster._failed_cache_counters[victim]
+        assert failed["solver_queries"] > 0
+        assert result.cache_stats["solver_queries"] >= (
+            failed["solver_queries"] + 1)
+
+
+def _run_traced_cluster(trace_path):  # pragma: no cover - child process body
+    test = SymbolicTest(name="obs-crash", program=branchy_program(4),
+                        use_posix_model=False)
+    test.run(backend="cluster", workers=2, max_rounds=100_000,
+             instructions_per_round=20, trace_path=trace_path)
+
+
+class TestCoordinatorCrash:
+    """Satellite: the trace stays parseable after a coordinator SIGKILL."""
+
+    @needs_fork
+    def test_trace_parseable_after_sigkill(self, tmp_path):
+        path = tmp_path / "crash.jsonl"
+        ctx = multiprocessing.get_context("fork")
+        child = ctx.Process(target=_run_traced_cluster, args=(str(path),))
+        child.start()
+        try:
+            deadline = time.monotonic() + 30.0
+            while time.monotonic() < deadline:
+                if path.exists() and path.stat().st_size > 2000:
+                    break
+                time.sleep(0.02)
+            else:
+                pytest.fail("trace never grew; cluster did not start")
+            os.kill(child.pid, signal.SIGKILL)
+        finally:
+            child.join(timeout=10.0)
+        # Simulate the torn final write a mid-line kill can leave.
+        with open(path, "a", encoding="utf-8") as fh:
+            fh.write('{"seq": 99999, "event": "round_comp')
+        events = load_trace(str(path))
+        assert events and events[0]["event"] == "run_started"
+        assert any(e["event"] == "round_completed" for e in events)
+        assert "run_finished" not in {e["event"] for e in events}
+
+
+class TestStatusServerLive:
+    @needs_fork
+    def test_status_readable_mid_run(self):
+        from repro.obs.status import read_status
+
+        config = ProcessClusterConfig(num_workers=2,
+                                      instructions_per_round=300,
+                                      status_listen="127.0.0.1:0")
+        cluster = ProcessCloud9Cluster("printf", {"format_length": 2},
+                                       config=config)
+        seen = {}
+
+        def hook(round_index, cl):
+            if round_index == 2 and not seen:
+                seen.update(read_status(cl.status_address) or {})
+
+        cluster.round_hook = hook
+        cluster.run(limits=ExplorationLimits(max_rounds=10))
+        assert seen["backend"] == "process"
+        assert seen["round"] >= 0 and seen["live_workers"] == 2
+        assert cluster.status_address is None  # torn down with the run

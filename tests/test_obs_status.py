@@ -1,0 +1,66 @@
+"""The coordinator-side live status endpoint."""
+
+import json
+import socket
+
+import pytest
+
+from repro.obs.status import StatusServer, parse_status_address, read_status
+
+
+class TestParseAddress:
+    def test_host_port(self):
+        assert parse_status_address("0.0.0.0:4850") == ("0.0.0.0", 4850)
+
+    def test_bare_port_defaults_loopback(self):
+        assert parse_status_address("4850") == ("127.0.0.1", 4850)
+
+    def test_bad_port_raises(self):
+        with pytest.raises(ValueError):
+            parse_status_address("host:notaport")
+
+
+class TestStatusServer:
+    def test_serves_latest_snapshot(self):
+        server = StatusServer("127.0.0.1:0")
+        try:
+            server.update({"round": 1, "coverage_percent": 10.0})
+            server.update({"round": 2, "coverage_percent": 25.0})
+            status = read_status(server.address)
+            assert status["round"] == 2
+            assert status["coverage_percent"] == 25.0
+            assert status["updated"] >= 0.0  # staleness age rides along
+        finally:
+            server.close()
+
+    def test_one_json_line_per_connection(self):
+        """The wire protocol is healthz-style: connect, read one line, EOF."""
+        server = StatusServer("127.0.0.1:0")
+        try:
+            server.update({"round": 7})
+            with socket.create_connection(server.address, timeout=2.0) as sock:
+                data = b""
+                while True:
+                    chunk = sock.recv(4096)
+                    if not chunk:
+                        break
+                    data += chunk
+            text = data.decode("utf-8")
+            assert text.endswith("\n") and text.count("\n") == 1
+            assert json.loads(text)["round"] == 7
+        finally:
+            server.close()
+
+    def test_empty_snapshot_before_first_update(self):
+        server = StatusServer("127.0.0.1:0")
+        try:
+            status = read_status(server.address)
+            assert "updated" in status
+        finally:
+            server.close()
+
+    def test_read_after_close_returns_none(self):
+        server = StatusServer("127.0.0.1:0")
+        address = server.address
+        server.close()
+        assert read_status(address, timeout=0.5) is None

@@ -1,0 +1,139 @@
+"""The JSONL tracer, the worker-side buffer, and crash-tolerant loading."""
+
+import json
+import threading
+
+import pytest
+
+from repro.obs.trace import (
+    NULL_TRACER,
+    BufferTracer,
+    NullTracer,
+    Tracer,
+    load_trace,
+)
+
+
+class TestTracer:
+    def test_emit_envelope(self, tmp_path):
+        path = tmp_path / "t.jsonl"
+        with Tracer(str(path)) as tracer:
+            tracer.emit("run_started", backend="single", workers=1)
+            tracer.emit("round_completed", round=0, worker=3, skipme=None)
+        events = load_trace(str(path))
+        assert [e["event"] for e in events] == ["run_started",
+                                                "round_completed"]
+        first, second = events
+        assert first["seq"] == 1 and second["seq"] == 2
+        assert first["run"] == second["run"]
+        assert second["ts"] >= first["ts"] >= 0.0
+        assert second["round"] == 0 and second["worker"] == 3
+        assert "skipme" not in second  # None-valued fields are dropped
+
+    def test_truncates_previous_trace(self, tmp_path):
+        path = tmp_path / "t.jsonl"
+        with Tracer(str(path)) as t:
+            t.emit("a")
+        with Tracer(str(path)) as t:
+            t.emit("b")
+        assert [e["event"] for e in load_trace(str(path))] == ["b"]
+
+    def test_concurrent_emit_whole_lines(self, tmp_path):
+        path = tmp_path / "t.jsonl"
+        tracer = Tracer(str(path))
+
+        def hammer(i):
+            for _ in range(200):
+                tracer.emit("tick", worker=i, payload="x" * 50)
+
+        threads = [threading.Thread(target=hammer, args=(i,))
+                   for i in range(4)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        tracer.close()
+        events = load_trace(str(path))
+        assert len(events) == 800
+        seqs = [e["seq"] for e in events]
+        assert seqs == sorted(seqs) and len(set(seqs)) == 800
+
+    def test_ingest_preserves_worker_ts_as_wts(self, tmp_path):
+        path = tmp_path / "t.jsonl"
+        with Tracer(str(path)) as tracer:
+            tracer.ingest([{"ts": 1.25, "event": "span", "phase": "explore",
+                            "duration": 0.5}], worker=4)
+        (event,) = load_trace(str(path))
+        assert event["event"] == "span"
+        assert event["worker"] == 4
+        assert event["wts"] == 1.25
+        assert event["ts"] != 1.25  # re-stamped on the coordinator clock
+
+    def test_span_emits_duration(self, tmp_path):
+        path = tmp_path / "t.jsonl"
+        with Tracer(str(path)) as tracer:
+            with tracer.span("explore", worker=1):
+                pass
+        (event,) = load_trace(str(path))
+        assert event["event"] == "span" and event["phase"] == "explore"
+        assert event["duration"] >= 0.0
+
+    def test_emit_after_close_is_noop(self, tmp_path):
+        path = tmp_path / "t.jsonl"
+        tracer = Tracer(str(path))
+        tracer.close()
+        tracer.close()  # idempotent
+        tracer.emit("late")
+        assert load_trace(str(path)) == []
+
+
+class TestNullTracer:
+    def test_disabled_surface(self, tmp_path):
+        assert NULL_TRACER.enabled is False
+        assert isinstance(NULL_TRACER, NullTracer)
+        NULL_TRACER.emit("anything", round=1)
+        NULL_TRACER.ingest([{"event": "x"}])
+        with NULL_TRACER.span("phase"):
+            pass
+        NULL_TRACER.close()
+
+
+class TestBufferTracer:
+    def test_drain_returns_and_resets(self):
+        buf = BufferTracer()
+        buf.emit("a", worker=1)
+        with buf.span("explore", budget=10):
+            pass
+        events = buf.drain()
+        assert [e["event"] for e in events] == ["a", "span"]
+        assert buf.drain() == []
+
+    def test_capacity_drops_are_accounted(self):
+        buf = BufferTracer(capacity=3)
+        for i in range(5):
+            buf.emit("tick", round=i)
+        events = buf.drain()
+        assert [e["event"] for e in events] == [
+            "tick", "tick", "tick", "trace_events_dropped"]
+        assert events[-1]["count"] == 2
+        # The drop counter resets with the drain.
+        buf.emit("after")
+        assert [e["event"] for e in buf.drain()] == ["after"]
+
+
+class TestLoadTrace:
+    def test_tolerates_torn_final_line(self, tmp_path):
+        path = tmp_path / "t.jsonl"
+        with Tracer(str(path)) as tracer:
+            tracer.emit("a")
+            tracer.emit("b")
+        with open(path, "a", encoding="utf-8") as fh:
+            fh.write('{"seq": 3, "event": "torn-mid-wri')
+        events = load_trace(str(path))
+        assert [e["event"] for e in events] == ["a", "b"]
+
+    def test_mid_file_corruption_raises(self, tmp_path):
+        path = tmp_path / "t.jsonl"
+        path.write_text('{"event": "a"}\nnot json\n{"event": "b"}\n')
+        with pytest.raises(json.JSONDecodeError):
+            load_trace(str(path))
