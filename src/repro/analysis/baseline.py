@@ -1,0 +1,94 @@
+"""Baseline grandfathering: start the CI gate green, ratchet it down.
+
+A new checker dropped on a living tree finds things; failing CI on all of
+them at once would block every other PR until someone fixes the backlog.
+The baseline file records the findings that existed when the gate was
+turned on -- matched by a line-independent fingerprint (checker id, path,
+enclosing qualname, message) so ordinary edits above a grandfathered line
+do not un-suppress it.  Semantics:
+
+* a finding whose fingerprint is in the baseline is suppressed;
+* a *new* finding (not in the baseline) fails the run -- the ratchet only
+  turns one way;
+* baseline entries that no longer match anything are reported as stale so
+  they get pruned (``--write-baseline`` rewrites the file to exactly the
+  current findings, which is both "adopt the gate" and "prune").
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Dict, Iterable, List, Tuple
+
+from repro.analysis.core import Finding
+
+__all__ = ["load_baseline", "write_baseline", "apply_baseline"]
+
+_FORMAT_VERSION = 1
+
+
+def load_baseline(path: str) -> List[dict]:
+    """Entries from a baseline file; empty when absent (not an error)."""
+    try:
+        data = json.loads(Path(path).read_text(encoding="utf-8"))
+    except OSError:
+        return []
+    except json.JSONDecodeError as exc:
+        raise ValueError("baseline file %s is not valid JSON: %s"
+                         % (path, exc)) from None
+    return list(data.get("findings", ()))
+
+
+def write_baseline(findings: Iterable[Finding], path: str) -> int:
+    """Record the current findings as the new baseline; returns the count."""
+    entries = [{
+        "checker": f.checker,
+        "path": f.path,
+        "context": f.context,
+        "message": f.message,
+    } for f in sorted(findings, key=lambda f: (f.path, f.line, f.checker))]
+    Path(path).write_text(
+        json.dumps({"version": _FORMAT_VERSION, "findings": entries},
+                   indent=2) + "\n",
+        encoding="utf-8")
+    return len(entries)
+
+
+def _entry_fingerprint(entry: dict) -> str:
+    return "|".join((entry.get("checker", ""), entry.get("path", ""),
+                     entry.get("context", ""), entry.get("message", "")))
+
+
+def apply_baseline(findings: List[Finding], entries: List[dict]
+                   ) -> Tuple[List[Finding], int, List[dict]]:
+    """Split findings against the baseline.
+
+    Returns ``(active, suppressed_count, stale_entries)``: findings not in
+    the baseline (these fail the run), how many were grandfathered, and
+    baseline entries that matched nothing (candidates for pruning).
+    """
+    counts: Dict[str, int] = {}
+    for entry in entries:
+        fingerprint = _entry_fingerprint(entry)
+        counts[fingerprint] = counts.get(fingerprint, 0) + 1
+    active: List[Finding] = []
+    suppressed = 0
+    for finding in findings:
+        fingerprint = finding.fingerprint()
+        if counts.get(fingerprint, 0) > 0:
+            counts[fingerprint] -= 1
+            suppressed += 1
+        else:
+            active.append(finding)
+    stale = [entry for entry in entries
+             if counts.get(_entry_fingerprint(entry), 0) > 0]
+    # Each surplus fingerprint is stale once per unmatched occurrence.
+    seen: Dict[str, int] = {}
+    pruned_stale: List[dict] = []
+    for entry in stale:
+        fingerprint = _entry_fingerprint(entry)
+        seen[fingerprint] = seen.get(fingerprint, 0) + 1
+        if seen[fingerprint] <= counts.get(fingerprint, 0):
+            pruned_stale.append(entry)
+    return active, suppressed, pruned_stale

@@ -1,0 +1,353 @@
+"""CONC: blocking calls under locks, untimed receives, lock-order cycles.
+
+The coordinator is a single-threaded request/reply loop surrounded by
+helper threads (TCP receivers, heartbeat pumps, the status server), and
+the discipline that keeps it live is simple: never block indefinitely
+while holding a lock, and never wait on a peer without a timeout.  Both
+rules are cross-file conventions no tool checked until now:
+
+``CONC001``
+    A blocking call (``socket.recv/accept/sendall/connect``, ``Queue.get``/
+    ``Queue.put`` without a timeout, zero-argument ``.join()``/``.wait()``,
+    ``subprocess.*``, ``time.sleep``) lexically inside a ``with <lock>:``
+    body.  A stalled peer freezes every thread that needs the lock.
+``CONC002``
+    An untimed ``.get()`` on a queue: a dead sender hangs the caller
+    forever (the worker loop's exact failure mode when its coordinator
+    dies).
+``CONC003``
+    The inter-module lock-acquisition graph has a cycle -- two code paths
+    that take the same locks in opposite orders are a deadlock candidate.
+
+Lock identification is heuristic but strict enough to be quiet: a ``with``
+context is a lock when its expression resolves to a ``threading.Lock/
+RLock/Condition/Semaphore`` assignment seen anywhere in the tree, or when
+its dotted name contains ``lock``.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Set, Tuple
+
+from repro.analysis.core import (
+    Finding,
+    SourceModule,
+    attr_chain,
+    enclosing_context,
+    qualname_index,
+)
+
+__all__ = ["check"]
+
+_LOCK_FACTORY_NAMES = frozenset({
+    "Lock", "RLock", "Condition", "Semaphore", "BoundedSemaphore"})
+
+#: Attribute calls that always block (no timeout parameter exists).
+_ALWAYS_BLOCKING_ATTRS = frozenset({
+    "recv", "recvfrom", "recv_into", "accept", "sendall", "connect"})
+
+#: ``subprocess`` functions that wait on a child.
+_SUBPROCESS_BLOCKING = frozenset({
+    "run", "call", "check_call", "check_output", "communicate"})
+
+_QUEUEISH_HINTS = ("queue", "inbox", "mailbox", "pending")
+
+
+def _has_timeout(node: ast.Call) -> bool:
+    if any(keyword.arg == "timeout" for keyword in node.keywords):
+        return True
+    # queue.Queue.get(block, timeout) -- a second positional is a timeout.
+    return len(node.args) >= 2
+
+
+def _is_queueish(receiver: str) -> bool:
+    lowered = receiver.lower()
+    return any(hint in lowered for hint in _QUEUEISH_HINTS)
+
+
+def _is_lockish_name(receiver: str) -> bool:
+    return "lock" in receiver.lower()
+
+
+@dataclass
+class _FunctionInfo:
+    qualname: str
+    module: SourceModule
+    node: ast.AST
+    #: Locks this function acquires anywhere in its own body.
+    acquires: Set[str] = field(default_factory=set)
+    #: Callees resolvable inside the analyzed tree (same-module names).
+    calls: Set[str] = field(default_factory=set)
+
+
+def _collect_lock_attrs(modules: List[SourceModule]) -> Set[str]:
+    """Attribute/name targets assigned a ``threading.Lock()``-style value."""
+    lock_names: Set[str] = set()
+    for module in modules:
+        for node in ast.walk(module.tree):
+            if not isinstance(node, ast.Assign):
+                continue
+            value = node.value
+            if not (isinstance(value, ast.Call)
+                    and ((isinstance(value.func, ast.Name)
+                          and value.func.id in _LOCK_FACTORY_NAMES)
+                         or (isinstance(value.func, ast.Attribute)
+                             and value.func.attr in _LOCK_FACTORY_NAMES))):
+                continue
+            for target in node.targets:
+                chain = attr_chain(target)
+                if chain:
+                    # Keyed by the trailing attribute name: `self._lock`
+                    # assigned in __init__ matches `self._lock` acquired in
+                    # any method of any class with that attribute.
+                    lock_names.add(chain.split(".")[-1])
+    return lock_names
+
+
+def _lock_identity(module: SourceModule, context: str, expr: ast.AST) -> str:
+    """Stable identity for a lock acquisition site.
+
+    ``self._send_lock`` inside ``TcpTransport._sendall`` becomes
+    ``repro/net/transport.py::TcpTransport._send_lock`` -- one node per
+    (class, attribute) pair, so acquisitions in different methods of the
+    same class meet in the graph.
+    """
+    chain = attr_chain(expr) or ast.unparse(expr)
+    owner = context.split(".")[0] if context else "<module>"
+    if chain.startswith("self."):
+        return "%s::%s.%s" % (module.path, owner, chain[len("self."):])
+    return "%s::%s" % (module.path, chain)
+
+
+def _blocking_reason(node: ast.Call) -> Optional[str]:
+    """Why this call can block indefinitely (None = not blocking)."""
+    func = node.func
+    if isinstance(func, ast.Attribute):
+        receiver = attr_chain(func.value)
+        attr = func.attr
+        if attr in _ALWAYS_BLOCKING_ATTRS:
+            return "%s.%s() blocks until the peer cooperates" % (
+                receiver or "<expr>", attr)
+        if attr in ("get", "put") and _is_queueish(receiver):
+            if not _has_timeout(node) and not (attr == "get" and node.args):
+                return ("untimed %s.%s() blocks forever if the other side "
+                        "is gone" % (receiver or "<expr>", attr))
+            return None
+        if attr in ("join", "wait") and not node.args and not node.keywords:
+            if isinstance(func.value, ast.Name) and func.value.id in ("os",):
+                return None  # os.wait is flagged via subprocess rules only
+            return ("%s.%s() with no timeout waits forever"
+                    % (receiver or "<expr>", attr))
+        if (attr in _SUBPROCESS_BLOCKING
+                and isinstance(func.value, ast.Name)
+                and func.value.id == "subprocess"):
+            return "subprocess.%s() waits on a child process" % attr
+        if (attr == "sleep" and isinstance(func.value, ast.Name)
+                and func.value.id == "time"):
+            return "time.sleep() stalls every waiter on the lock"
+    return None
+
+
+def check(modules: List[SourceModule]) -> List[Finding]:
+    findings: List[Finding] = []
+    known_lock_attrs = _collect_lock_attrs(modules)
+    functions: Dict[str, _FunctionInfo] = {}
+    #: (outer lock, inner lock, path, line) lexical nesting edges.
+    edges: Dict[Tuple[str, str], Tuple[str, int, str]] = {}
+
+    def is_lock_expr(expr: ast.AST) -> bool:
+        chain = attr_chain(expr)
+        if not chain:
+            return False
+        if _is_lockish_name(chain):
+            return True
+        return chain.split(".")[-1] in known_lock_attrs
+
+    def scan_module(module: SourceModule) -> None:
+        index = qualname_index(module)
+
+        def walk(node: ast.AST, held: Tuple[str, ...],
+                 function: Optional[_FunctionInfo]) -> None:
+            for child in ast.iter_child_nodes(node):
+                if isinstance(child, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                    info = _FunctionInfo(
+                        qualname=index.get(child, child.name),
+                        module=module, node=child)
+                    functions["%s::%s" % (module.path, info.qualname)] = info
+                    # A nested def's body runs later; locks held here are
+                    # not held inside it.
+                    walk(child, (), info)
+                    continue
+                if isinstance(child, ast.Lambda):
+                    continue
+                acquired: List[str] = []
+                if isinstance(child, (ast.With, ast.AsyncWith)):
+                    for item in child.items:
+                        expr = item.context_expr
+                        # `with lock:` or `with lock.acquire_timeout(..)`
+                        target = expr
+                        if isinstance(expr, ast.Call):
+                            target = expr.func
+                        if is_lock_expr(target):
+                            context = (function.qualname if function else "")
+                            lock_id = _lock_identity(module, context, target)
+                            acquired.append(lock_id)
+                            if function is not None:
+                                function.acquires.add(lock_id)
+                            for outer in held:
+                                if outer != lock_id:
+                                    edges.setdefault(
+                                        (outer, lock_id),
+                                        (module.path, child.lineno,
+                                         context))
+                if isinstance(child, ast.Call):
+                    reason = _blocking_reason(child)
+                    receiver = (attr_chain(child.func.value)
+                                if isinstance(child.func, ast.Attribute)
+                                else "")
+                    if held and reason is not None:
+                        findings.append(Finding(
+                            "CONC001", module.path, child.lineno,
+                            "blocking call under lock %s: %s"
+                            % (_short(held[-1]), reason),
+                            hint="bound the wait (timeout=, select with a "
+                                 "deadline) or move the call outside the "
+                                 "lock",
+                            context=(function.qualname if function else "")))
+                    elif (isinstance(child.func, ast.Attribute)
+                          and child.func.attr == "get"
+                          and _is_queueish(receiver)
+                          and not child.args
+                          and not any(k.arg in ("timeout", "block")
+                                      for k in child.keywords)):
+                        findings.append(Finding(
+                            "CONC002", module.path, child.lineno,
+                            "untimed %s.get(): a dead sender hangs this "
+                            "loop forever" % (receiver or "<queue>"),
+                            hint="pass timeout= and re-check liveness "
+                                 "between attempts",
+                            context=(function.qualname if function else "")))
+                    if function is not None:
+                        callee = _resolve_callee(child.func,
+                                                 function.qualname)
+                        if callee:
+                            function.calls.add(
+                                "%s::%s" % (module.path, callee))
+                walk(child, held + tuple(acquired), function)
+
+        walk(module.tree, (), None)
+
+    for module in modules:
+        scan_module(module)
+
+    # Propagate: a call made while holding lock A reaches locks acquired in
+    # the (same-module) callee, transitively.
+    closure: Dict[str, Set[str]] = {}
+
+    def locks_of(function_key: str, seen: Set[str]) -> Set[str]:
+        if function_key in closure:
+            return closure[function_key]
+        if function_key in seen:
+            return set()
+        seen.add(function_key)
+        info = functions.get(function_key)
+        if info is None:
+            return set()
+        total = set(info.acquires)
+        for callee in info.calls:
+            total |= locks_of(callee, seen)
+        closure[function_key] = total
+        return total
+
+    def scan_module_calls(module: SourceModule) -> None:
+        index = qualname_index(module)
+
+        def walk_calls(node: ast.AST, held: Tuple[str, ...],
+                       context: str) -> None:
+            for child in ast.iter_child_nodes(node):
+                if isinstance(child, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                    walk_calls(child, (), index.get(child, child.name))
+                    continue
+                acquired: List[str] = []
+                if isinstance(child, (ast.With, ast.AsyncWith)):
+                    for item in child.items:
+                        target = item.context_expr
+                        if isinstance(target, ast.Call):
+                            target = target.func
+                        if is_lock_expr(target):
+                            acquired.append(
+                                _lock_identity(module, context, target))
+                if held and isinstance(child, ast.Call):
+                    callee = _resolve_callee(child.func, context)
+                    if callee:
+                        for inner in locks_of(
+                                "%s::%s" % (module.path, callee), set()):
+                            for outer in held:
+                                if outer != inner:
+                                    edges.setdefault(
+                                        (outer, inner),
+                                        (module.path, child.lineno, context))
+                walk_calls(child, held + tuple(acquired), context)
+
+        walk_calls(module.tree, (), "")
+
+    for module in modules:
+        scan_module_calls(module)
+
+    findings.extend(_find_cycles(edges))
+    return findings
+
+
+def _resolve_callee(func: ast.AST, caller_qualname: str) -> Optional[str]:
+    """Same-module callee qualname for ``self.m()`` / ``name()`` calls.
+
+    A ``self.m()`` call inside ``C.f`` resolves to ``C.m`` (methods of the
+    same class); a bare ``name()`` call resolves to the module-level
+    function ``name``.
+    """
+    if isinstance(func, ast.Name):
+        return func.id
+    if (isinstance(func, ast.Attribute)
+            and isinstance(func.value, ast.Name)
+            and func.value.id in ("self", "cls")):
+        if "." in caller_qualname:
+            owner = caller_qualname.rsplit(".", 1)[0]
+            return "%s.%s" % (owner, func.attr)
+        return func.attr
+    return None
+
+
+def _short(lock_id: str) -> str:
+    return lock_id.split("::", 1)[-1]
+
+
+def _find_cycles(edges: Dict[Tuple[str, str], Tuple[str, int, str]]
+                 ) -> List[Finding]:
+    graph: Dict[str, Set[str]] = {}
+    for (outer, inner) in edges:
+        graph.setdefault(outer, set()).add(inner)
+    findings: List[Finding] = []
+    reported: Set[frozenset] = set()
+    for start in sorted(graph):
+        stack = [(start, (start,))]
+        while stack:
+            node, path = stack.pop()
+            for neighbor in sorted(graph.get(node, ())):
+                if neighbor == start and len(path) > 1:
+                    cycle = frozenset(path)
+                    if cycle in reported:
+                        continue
+                    reported.add(cycle)
+                    src_path, line, context = edges[(path[-1], start)]
+                    findings.append(Finding(
+                        "CONC003", src_path, line,
+                        "lock-order cycle (deadlock candidate): %s"
+                        % " -> ".join(_short(p) for p in path + (start,)),
+                        hint="acquire these locks in one global order, or "
+                             "collapse them into a single lock",
+                        context=context))
+                elif neighbor not in path:
+                    stack.append((neighbor, path + (neighbor,)))
+    return findings

@@ -1,0 +1,266 @@
+"""DET: sources of nondeterminism in schedule/solver decision paths.
+
+Checkpoint/resume and trace-driven replay (ROADMAP item 6) both assume
+that re-running the same frontier with the same seeds reproduces the same
+schedule.  Three things silently break that: the process-global RNG, the
+wall clock, and Python's unordered ``set`` iteration feeding a
+first-match choice.  The engine already does the right thing everywhere
+(seeded ``random.Random(seed)`` per strategy, ``time.monotonic`` for
+durations, ``sorted(...)`` before every ordering-sensitive pick) -- this
+checker keeps it that way:
+
+``DET001``
+    A ``random.<fn>()`` call on the process-global RNG -- unseeded and
+    shared across every component in the process.
+``DET002``
+    ``random.Random()`` constructed without a seed argument.
+``DET003``
+    ``time.time()`` inside the scheduling/solver decision paths
+    (``repro.engine`` / ``repro.solver`` / ``repro.cluster`` /
+    ``repro.distrib``); wall clocks step, ``time.monotonic`` (or an
+    injected clock) does not feed decisions back into the schedule.
+``DET004``
+    Iteration order of a ``set`` feeding an ordering-sensitive sink in
+    those same modules: ``next(iter(s))``, ``s.pop()``, or a first-match
+    ``for``-loop (one that breaks/returns) directly over a set.
+
+DET003/DET004 are scoped to the decision-path packages; a benchmark
+printing ``time.time()`` is nobody's replay problem.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, List, Optional, Set
+
+from repro.analysis.core import (
+    Finding,
+    SourceModule,
+    enclosing_context,
+    qualname_index,
+)
+
+__all__ = ["check", "DECISION_PATH_MARKERS"]
+
+#: Path fragments that mark a module as schedule/solver decision code.
+DECISION_PATH_MARKERS = ("/engine/", "/solver/", "/cluster/", "/distrib/")
+
+_GLOBAL_RNG_FUNCS = frozenset({
+    "random", "randint", "randrange", "choice", "choices", "shuffle",
+    "sample", "uniform", "triangular", "betavariate", "expovariate",
+    "gammavariate", "gauss", "lognormvariate", "normalvariate",
+    "vonmisesvariate", "paretovariate", "weibullvariate", "getrandbits",
+    "randbytes", "seed",
+})
+
+_SET_ANNOTATIONS = frozenset({"set", "Set", "frozenset", "FrozenSet",
+                              "AbstractSet", "MutableSet"})
+
+
+def _in_decision_path(module: SourceModule) -> bool:
+    return any(marker in module.path for marker in DECISION_PATH_MARKERS)
+
+
+def _is_set_producer(node: ast.AST) -> bool:
+    """Does this expression evaluate to a set, on its face?"""
+    if isinstance(node, (ast.Set, ast.SetComp)):
+        return True
+    if isinstance(node, ast.Call) and isinstance(node.func, ast.Name):
+        return node.func.id in ("set", "frozenset")
+    if isinstance(node, ast.BinOp) and isinstance(
+            node.op, (ast.BitAnd, ast.BitOr, ast.Sub, ast.BitXor)):
+        # Set algebra: s1 & s2, s1 - s2 ... only if a side is set-like.
+        return _is_set_producer(node.left) or _is_set_producer(node.right)
+    if isinstance(node, ast.Attribute) and node.attr in (
+            "intersection", "union", "difference", "symmetric_difference"):
+        return False  # handled via the Call case below
+    if isinstance(node, ast.Call) and isinstance(node.func, ast.Attribute):
+        return node.func.attr in ("intersection", "union", "difference",
+                                  "symmetric_difference")
+    return False
+
+
+def _annotation_is_set(annotation: Optional[ast.AST]) -> bool:
+    if annotation is None:
+        return False
+    base = annotation
+    if isinstance(base, ast.Subscript):
+        base = base.value
+    if isinstance(base, ast.Name):
+        return base.id in _SET_ANNOTATIONS
+    if isinstance(base, ast.Attribute):
+        return base.attr in _SET_ANNOTATIONS
+    return False
+
+
+class _SetTracker(ast.NodeVisitor):
+    """Function-local inference of which names hold sets."""
+
+    def __init__(self) -> None:
+        self.set_names: Set[str] = set()
+
+    def visit_Assign(self, node: ast.Assign) -> None:
+        if _is_set_producer(node.value):
+            for target in node.targets:
+                if isinstance(target, ast.Name):
+                    self.set_names.add(target.id)
+        self.generic_visit(node)
+
+    def visit_AnnAssign(self, node: ast.AnnAssign) -> None:
+        if isinstance(node.target, ast.Name) and _annotation_is_set(node.annotation):
+            self.set_names.add(node.target.id)
+        self.generic_visit(node)
+
+    def visit_arg(self, node: ast.arg) -> None:
+        if _annotation_is_set(node.annotation):
+            self.set_names.add(node.arg)
+
+    def visit_FunctionDef(self, node) -> None:  # do not descend
+        pass
+
+    visit_AsyncFunctionDef = visit_FunctionDef
+    visit_Lambda = visit_FunctionDef
+
+
+def _is_sorted_wrapped(module: SourceModule, node: ast.AST) -> bool:
+    """Is this expression an argument to sorted()/min()/max()/sum()/len()?"""
+    parent = module.parents.get(node)
+    while isinstance(parent, (ast.Starred,)):
+        parent = module.parents.get(parent)
+    if isinstance(parent, ast.Call) and isinstance(parent.func, ast.Name):
+        return parent.func.id in ("sorted", "min", "max", "sum", "len",
+                                  "frozenset", "set", "any", "all")
+    return False
+
+
+def check(modules: List[SourceModule]) -> List[Finding]:
+    findings: List[Finding] = []
+
+    def scan_module(module: SourceModule) -> None:
+        index = qualname_index(module)
+        decision_path = _in_decision_path(module)
+
+        # Per-function set-name inference for DET004.
+        set_names_by_function: Dict[ast.AST, Set[str]] = {}
+        for node in ast.walk(module.tree):
+            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                tracker = _SetTracker()
+                for statement in node.body:
+                    tracker.visit(statement)
+                for arg in (node.args.args + node.args.posonlyargs
+                            + node.args.kwonlyargs):
+                    tracker.visit_arg(arg)
+                set_names_by_function[node] = tracker.set_names
+
+        def local_set_names(node: ast.AST) -> Set[str]:
+            current = module.parents.get(node)
+            while current is not None:
+                if current in set_names_by_function:
+                    return set_names_by_function[current]
+                current = module.parents.get(current)
+            return set()
+
+        def is_set_expr(expr: ast.AST, node: ast.AST) -> bool:
+            if _is_set_producer(expr):
+                return True
+            return (isinstance(expr, ast.Name)
+                    and expr.id in local_set_names(node))
+
+        for node in ast.walk(module.tree):
+            if isinstance(node, ast.Call):
+                func = node.func
+                # DET001: the process-global RNG.
+                if (isinstance(func, ast.Attribute)
+                        and isinstance(func.value, ast.Name)
+                        and func.value.id == "random"
+                        and func.attr in _GLOBAL_RNG_FUNCS):
+                    findings.append(Finding(
+                        "DET001", module.path, node.lineno,
+                        "call to the process-global RNG random.%s(); replay "
+                        "and checkpoint/resume cannot reproduce it"
+                        % func.attr,
+                        hint="thread a seeded random.Random(seed) through "
+                             "the component (see engine.strategies)",
+                        context=enclosing_context(module, node, index)))
+                # DET002: unseeded RNG instance.
+                if (not node.args and not node.keywords
+                        and ((isinstance(func, ast.Attribute)
+                              and func.attr == "Random")
+                             or (isinstance(func, ast.Name)
+                                 and func.id == "Random"))):
+                    findings.append(Finding(
+                        "DET002", module.path, node.lineno,
+                        "random.Random() constructed without a seed",
+                        hint="pass an explicit seed (from config or the "
+                             "checkpoint) so runs replay deterministically",
+                        context=enclosing_context(module, node, index)))
+                # DET003: wall clock in decision paths.
+                if (decision_path and isinstance(func, ast.Attribute)
+                        and isinstance(func.value, ast.Name)
+                        and func.value.id == "time" and func.attr == "time"):
+                    findings.append(Finding(
+                        "DET003", module.path, node.lineno,
+                        "time.time() in a scheduling/solver decision path; "
+                        "wall clocks step and skew across workers",
+                        hint="use time.monotonic() for durations, or an "
+                             "injected clock for testable decisions",
+                        context=enclosing_context(module, node, index)))
+                # DET004 sink: next(iter(set)).
+                if (decision_path and isinstance(func, ast.Name)
+                        and func.id == "next" and node.args
+                        and isinstance(node.args[0], ast.Call)
+                        and isinstance(node.args[0].func, ast.Name)
+                        and node.args[0].func.id == "iter"
+                        and node.args[0].args
+                        and is_set_expr(node.args[0].args[0], node)):
+                    findings.append(Finding(
+                        "DET004", module.path, node.lineno,
+                        "next(iter(<set>)) picks an arbitrary element; set "
+                        "order varies across processes (hash randomization)",
+                        hint="use min()/max() with a key, or sorted(...)[0]",
+                        context=enclosing_context(module, node, index)))
+                # DET004 sink: <set>.pop() with no arguments.
+                if (decision_path and isinstance(func, ast.Attribute)
+                        and func.attr == "pop" and not node.args
+                        and isinstance(func.value, ast.Name)
+                        and func.value.id in local_set_names(node)):
+                    findings.append(Finding(
+                        "DET004", module.path, node.lineno,
+                        "%s.pop() removes an arbitrary set element"
+                        % func.value.id,
+                        hint="pop from a sorted list, or pick with "
+                             "min()/max()",
+                        context=enclosing_context(module, node, index)))
+            # DET004 sink: first-match loop directly over a set.
+            if (decision_path and isinstance(node, (ast.For,))
+                    and is_set_expr(node.iter, node)
+                    and not _is_sorted_wrapped(module, node.iter)
+                    and _has_first_match_exit(node)):
+                findings.append(Finding(
+                    "DET004", module.path, node.lineno,
+                    "first-match loop over a set: which element wins "
+                    "depends on hash order",
+                    hint="iterate sorted(<set>) so the choice is stable",
+                    context=enclosing_context(module, node, index)))
+
+    for module in modules:
+        scan_module(module)
+    return findings
+
+
+def _has_first_match_exit(loop: ast.For) -> bool:
+    """Does the loop body leave early (break/return) -- a choice, not a fold?"""
+
+    def contains_exit(node: ast.AST) -> bool:
+        for child in ast.iter_child_nodes(node):
+            if isinstance(child, (ast.Break, ast.Return)):
+                return True
+            if isinstance(child, (ast.FunctionDef, ast.AsyncFunctionDef,
+                                  ast.Lambda, ast.For, ast.While)):
+                continue  # a nested scope or loop owns its own exits
+            if contains_exit(child):
+                return True
+        return False
+
+    return any(contains_exit(ast.Module(body=[stmt], type_ignores=[]))
+               for stmt in loop.body)

@@ -1,0 +1,275 @@
+"""PROTO: the wire-protocol lock.
+
+The pickled message set (:mod:`repro.distrib.messages` plus the handshake
+dataclasses in :mod:`repro.net.transport`) is a cross-process contract:
+a field added on the coordinator side but absent on a stale agent
+desynchronizes the run, which is exactly what ``PROTOCOL_VERSION`` exists
+to prevent -- but nothing ever checked that the version moves when the
+messages do.  This checker extracts every message dataclass (field names,
+annotations, defaults) into a committed ``protocol.lock.json`` and fails
+when they drift apart:
+
+``PROTO001``
+    A message class or field changed while ``PROTOCOL_VERSION`` stayed at
+    the locked value: bump the version, then regenerate the lock.
+``PROTO002``
+    The lock file is missing or records a different version than the code:
+    regenerate with ``python -m repro.analysis --update-lock``.
+``PROTO003``
+    A message field's declared type (or default) cannot cross a pickle
+    boundary: locks, sockets, open files, lambdas, threads, queues.
+"""
+
+from __future__ import annotations
+
+import ast
+import json
+from pathlib import Path
+from typing import Dict, List, Optional, Tuple
+
+from repro.analysis.core import Finding, SourceModule
+
+__all__ = ["MESSAGE_MODULES", "VERSION_MODULE", "VERSION_CONSTANT",
+           "extract_protocol", "verify_lock", "write_lock", "load_lock",
+           "check"]
+
+#: Path suffix -> dotted module name of every file whose dataclasses are
+#: wire messages.  Matched by suffix so fixture trees work unchanged.
+MESSAGE_MODULES: Dict[str, str] = {
+    "repro/distrib/messages.py": "repro.distrib.messages",
+    "repro/net/transport.py": "repro.net.transport",
+}
+
+#: Where the protocol version constant lives.
+VERSION_MODULE = "repro/net/transport.py"
+VERSION_CONSTANT = "PROTOCOL_VERSION"
+
+#: Identifiers in a field annotation (or default) that name values which do
+#: not survive pickling -- the process/TCP transports ship every message
+#: through ``pickle.dumps``.
+_UNPICKLABLE_NAMES = frozenset({
+    "Lock", "RLock", "Condition", "Event", "Semaphore", "BoundedSemaphore",
+    "Barrier", "Thread", "socket", "Socket", "Popen", "Queue", "SimpleQueue",
+    "LifoQueue", "PriorityQueue", "IO", "TextIO", "BinaryIO", "TextIOWrapper",
+    "FileIO", "BufferedReader", "BufferedWriter", "Callable", "Generator",
+    "lambda",
+})
+
+
+def _is_dataclass_decorated(node: ast.ClassDef) -> bool:
+    for decorator in node.decorator_list:
+        target = decorator.func if isinstance(decorator, ast.Call) else decorator
+        if isinstance(target, ast.Name) and target.id == "dataclass":
+            return True
+        if isinstance(target, ast.Attribute) and target.attr == "dataclass":
+            return True
+    return False
+
+
+def _module_name(module: SourceModule) -> Optional[str]:
+    for suffix, dotted in MESSAGE_MODULES.items():
+        if module.path.endswith(suffix):
+            return dotted
+    return None
+
+
+def extract_protocol(modules: List[SourceModule]) -> Tuple[dict, dict]:
+    """Read the message set and version out of the tree, statically.
+
+    Returns ``(lock_data, locations)``: the JSON-able lock content, and a
+    side table mapping message names (and ``VERSION_CONSTANT``) to
+    ``(path, line)`` for findings.
+    """
+    messages: Dict[str, dict] = {}
+    locations: Dict[str, Tuple[str, int]] = {}
+    version: Optional[int] = None
+    for module in modules:
+        dotted = _module_name(module)
+        if dotted is None:
+            continue
+        if module.path.endswith(VERSION_MODULE):
+            for node in module.tree.body:
+                if (isinstance(node, ast.Assign)
+                        and any(isinstance(t, ast.Name)
+                                and t.id == VERSION_CONSTANT
+                                for t in node.targets)
+                        and isinstance(node.value, ast.Constant)
+                        and isinstance(node.value.value, int)):
+                    version = node.value.value
+                    locations[VERSION_CONSTANT] = (module.path, node.lineno)
+        for node in module.tree.body:
+            if not isinstance(node, ast.ClassDef):
+                continue
+            if not _is_dataclass_decorated(node):
+                continue
+            full_name = "%s.%s" % (dotted, node.name)
+            fields = []
+            for statement in node.body:
+                if not isinstance(statement, ast.AnnAssign):
+                    continue
+                if not isinstance(statement.target, ast.Name):
+                    continue
+                annotation = ast.unparse(statement.annotation)
+                if annotation.startswith("ClassVar"):
+                    continue
+                fields.append({
+                    "name": statement.target.id,
+                    "type": annotation,
+                    "default": (ast.unparse(statement.value)
+                                if statement.value is not None else None),
+                })
+            messages[full_name] = {"fields": fields}
+            locations[full_name] = (module.path, node.lineno)
+    lock_data = {
+        "protocol_version": version,
+        "messages": {name: messages[name] for name in sorted(messages)},
+    }
+    return lock_data, locations
+
+
+def _check_picklable(modules: List[SourceModule]) -> List[Finding]:
+    findings: List[Finding] = []
+    for module in modules:
+        dotted = _module_name(module)
+        if dotted is None:
+            continue
+        for node in module.tree.body:
+            if not isinstance(node, ast.ClassDef) or not _is_dataclass_decorated(node):
+                continue
+            for statement in node.body:
+                if not isinstance(statement, ast.AnnAssign):
+                    continue
+                bad = _unpicklable_names_in(statement.annotation)
+                if statement.value is not None:
+                    bad |= _unpicklable_names_in(statement.value)
+                if bad:
+                    target = (statement.target.id
+                              if isinstance(statement.target, ast.Name)
+                              else ast.unparse(statement.target))
+                    findings.append(Finding(
+                        "PROTO003", module.path, node.lineno,
+                        "message %s.%s field %r has unpicklable type (%s); "
+                        "it cannot cross the process/TCP wire"
+                        % (dotted, node.name, target, ", ".join(sorted(bad))),
+                        hint="ship plain data (ids, encoded trees) and "
+                             "rebuild the live object on the far side",
+                        context=node.name))
+    return findings
+
+
+def _unpicklable_names_in(node: ast.AST) -> set:
+    bad = set()
+    for child in ast.walk(node):
+        if isinstance(child, ast.Lambda):
+            bad.add("lambda")
+        elif isinstance(child, ast.Name) and child.id in _UNPICKLABLE_NAMES:
+            bad.add(child.id)
+        elif isinstance(child, ast.Attribute) and child.attr in _UNPICKLABLE_NAMES:
+            bad.add(child.attr)
+    return bad
+
+
+def load_lock(path: str) -> Optional[dict]:
+    try:
+        return json.loads(Path(path).read_text(encoding="utf-8"))
+    except (OSError, json.JSONDecodeError):
+        return None
+
+
+def write_lock(lock_data: dict, path: str) -> None:
+    Path(path).write_text(json.dumps(lock_data, indent=2, sort_keys=True)
+                          + "\n", encoding="utf-8")
+
+
+def _field_map(entry: dict) -> Dict[str, dict]:
+    return {f["name"]: f for f in entry.get("fields", ())}
+
+
+def verify_lock(lock_data: dict, locations: dict,
+                locked: Optional[dict], lock_path: str) -> List[Finding]:
+    """Compare the extracted message set against the committed lock."""
+    findings: List[Finding] = []
+    version = lock_data.get("protocol_version")
+    version_path, version_line = locations.get(
+        VERSION_CONSTANT, (VERSION_MODULE, 1))
+    if version is None:
+        findings.append(Finding(
+            "PROTO002", version_path, version_line,
+            "no literal %s assignment found in %s"
+            % (VERSION_CONSTANT, VERSION_MODULE),
+            hint="keep %s a plain integer constant" % VERSION_CONSTANT))
+        return findings
+    if locked is None:
+        findings.append(Finding(
+            "PROTO002", version_path, version_line,
+            "protocol lock file %s is missing or unreadable" % lock_path,
+            hint="run `python -m repro.analysis --update-lock` and commit "
+                 "the result"))
+        return findings
+    locked_version = locked.get("protocol_version")
+    if locked_version != version:
+        findings.append(Finding(
+            "PROTO002", version_path, version_line,
+            "protocol lock records version %r but the code is at %r; "
+            "the lock is stale" % (locked_version, version),
+            hint="run `python -m repro.analysis --update-lock` and commit "
+                 "%s together with the version bump" % lock_path))
+        return findings
+
+    # Same version: the message set must be identical to the lock.
+    current = lock_data.get("messages", {})
+    frozen = locked.get("messages", {})
+    hint = ("bump %s in %s, then run `python -m repro.analysis "
+            "--update-lock`" % (VERSION_CONSTANT, VERSION_MODULE))
+    for name in sorted(set(frozen) - set(current)):
+        findings.append(Finding(
+            "PROTO001", version_path, version_line,
+            "wire message %s was removed without a %s bump"
+            % (name, VERSION_CONSTANT), hint=hint, context=name))
+    for name in sorted(set(current) - set(frozen)):
+        path, line = locations.get(name, (version_path, version_line))
+        findings.append(Finding(
+            "PROTO001", path, line,
+            "new wire message %s added without a %s bump"
+            % (name, VERSION_CONSTANT), hint=hint, context=name))
+    for name in sorted(set(current) & set(frozen)):
+        path, line = locations.get(name, (version_path, version_line))
+        now, then = _field_map(current[name]), _field_map(frozen[name])
+        for missing in sorted(set(then) - set(now)):
+            findings.append(Finding(
+                "PROTO001", path, line,
+                "field %r removed from wire message %s without a %s bump"
+                % (missing, name, VERSION_CONSTANT), hint=hint, context=name))
+        for added in sorted(set(now) - set(then)):
+            findings.append(Finding(
+                "PROTO001", path, line,
+                "field %r added to wire message %s without a %s bump"
+                % (added, name, VERSION_CONSTANT), hint=hint, context=name))
+        for common in sorted(set(now) & set(then)):
+            if now[common] != then[common]:
+                findings.append(Finding(
+                    "PROTO001", path, line,
+                    "field %r of wire message %s changed (%s -> %s) without "
+                    "a %s bump"
+                    % (common, name, _describe(then[common]),
+                       _describe(now[common]), VERSION_CONSTANT),
+                    hint=hint, context=name))
+    return findings
+
+
+def _describe(entry: dict) -> str:
+    text = entry.get("type", "?")
+    if entry.get("default") is not None:
+        text += " = %s" % entry["default"]
+    return text
+
+
+def check(modules: List[SourceModule], lock_path: str) -> List[Finding]:
+    """The full PROTO family: picklability plus lock verification."""
+    lock_data, locations = extract_protocol(modules)
+    findings = _check_picklable(modules)
+    if not lock_data["messages"] and lock_data["protocol_version"] is None:
+        return findings  # tree has no wire modules at all (fixture trees)
+    findings.extend(verify_lock(lock_data, locations, load_lock(lock_path),
+                                lock_path))
+    return findings

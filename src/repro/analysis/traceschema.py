@@ -1,0 +1,242 @@
+"""TRACE: emit call sites vs. the declared event schema registry.
+
+Six backends write the same JSONL trace, and the report/replay tooling
+keys off event and field names.  The registry
+(:mod:`repro.obs.schema`) declares, per event, the keys every emit site
+must pass and the keys some may pass; this checker reads the registry
+*statically* (the ``_event(...)`` calls are literal-only by contract) and
+holds every ``tracer.emit(...)`` call site in the tree to it:
+
+``TRACE000``
+    Emit sites exist but no schema registry module was found.
+``TRACE001``
+    Event name (literal or constant) not registered.
+``TRACE002``
+    A key passed at this site is not declared for the event -- the classic
+    cross-backend drift (one coordinator renames ``bugs`` to ``bugs_found``).
+``TRACE003``
+    A required key is missing at this site.
+``TRACE004``
+    The payload is built dynamically (``**{...}``) for an event whose
+    schema is closed; declare ``allow_extra`` or pass explicit keys.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Set, Tuple
+
+from repro.analysis.core import (
+    Finding,
+    SourceModule,
+    attr_chain,
+    enclosing_context,
+    qualname_index,
+)
+
+__all__ = ["SCHEMA_MODULE", "StaticEventSchema", "parse_registry",
+           "collect_emit_sites", "check"]
+
+#: Path suffix of the schema registry module.
+SCHEMA_MODULE = "repro/obs/schema.py"
+
+#: Envelope keys the tracer owns; legal on any event (kept in sync with
+#: ``repro.obs.schema.ENVELOPE_KEYS``, and parsed from the registry when
+#: the module declares them).
+DEFAULT_ENVELOPE_KEYS = frozenset({"seq", "ts", "event", "run", "worker",
+                                   "round", "wts"})
+
+
+@dataclass
+class StaticEventSchema:
+    name: str
+    required: Set[str] = field(default_factory=set)
+    optional: Set[str] = field(default_factory=set)
+    allow_extra: bool = False
+    shared: bool = False
+
+    def allowed(self) -> Set[str]:
+        return self.required | self.optional
+
+
+@dataclass
+class StaticRegistry:
+    path: str = ""
+    #: event name -> schema
+    events: Dict[str, StaticEventSchema] = field(default_factory=dict)
+    #: constant name (RUN_STARTED) -> event name ("run_started")
+    constants: Dict[str, str] = field(default_factory=dict)
+    envelope: frozenset = DEFAULT_ENVELOPE_KEYS
+
+
+def _literal_strings(node: Optional[ast.AST]) -> Optional[Tuple[str, ...]]:
+    if node is None:
+        return ()
+    if isinstance(node, (ast.Tuple, ast.List, ast.Set)):
+        values = []
+        for element in node.elts:
+            if not (isinstance(element, ast.Constant)
+                    and isinstance(element.value, str)):
+                return None
+            values.append(element.value)
+        return tuple(values)
+    return None
+
+
+def parse_registry(modules: List[SourceModule]) -> Optional[StaticRegistry]:
+    """Read the ``_event(...)`` declarations out of the registry's AST."""
+    module = next((m for m in modules if m.path.endswith(SCHEMA_MODULE)), None)
+    if module is None:
+        return None
+    registry = StaticRegistry(path=module.path)
+    for node in module.tree.body:
+        if (isinstance(node, ast.Assign) and len(node.targets) == 1
+                and isinstance(node.targets[0], ast.Name)):
+            target = node.targets[0].id
+            value = node.value
+            if (target == "ENVELOPE_KEYS" and isinstance(value, ast.Call)):
+                keys = _literal_strings(value.args[0]) if value.args else None
+                if keys:
+                    registry.envelope = frozenset(keys)
+                continue
+            if not (isinstance(value, ast.Call)
+                    and isinstance(value.func, ast.Name)
+                    and value.func.id == "_event"):
+                continue
+            if not (value.args and isinstance(value.args[0], ast.Constant)
+                    and isinstance(value.args[0].value, str)):
+                continue
+            name = value.args[0].value
+            schema = StaticEventSchema(name=name)
+            positional = ("required", "optional")
+            for index, arg in enumerate(value.args[1:]):
+                strings = _literal_strings(arg)
+                if strings is not None and index < len(positional):
+                    setattr(schema, positional[index], set(strings))
+            for keyword in value.keywords:
+                if keyword.arg in positional:
+                    strings = _literal_strings(keyword.value)
+                    if strings is not None:
+                        setattr(schema, keyword.arg, set(strings))
+                elif keyword.arg in ("allow_extra", "shared"):
+                    if isinstance(keyword.value, ast.Constant):
+                        setattr(schema, keyword.arg, bool(keyword.value.value))
+            registry.events[name] = schema
+            registry.constants[target] = name
+    return registry
+
+
+@dataclass
+class EmitSite:
+    module: SourceModule
+    node: ast.Call
+    event: Optional[str]      # resolved event name, None when dynamic
+    keys: Set[str]
+    dynamic: bool             # payload includes a **spread
+    context: str
+
+
+def _looks_like_tracer(receiver: str) -> bool:
+    return "tracer" in receiver.lower()
+
+
+def collect_emit_sites(modules: List[SourceModule],
+                       registry: Optional[StaticRegistry]) -> List[EmitSite]:
+    sites: List[EmitSite] = []
+    constants = registry.constants if registry else {}
+    for module in modules:
+        if module.path.endswith(SCHEMA_MODULE):
+            continue
+        index = qualname_index(module)
+        for node in ast.walk(module.tree):
+            if not (isinstance(node, ast.Call)
+                    and isinstance(node.func, ast.Attribute)
+                    and node.func.attr == "emit"):
+                continue
+            receiver = attr_chain(node.func.value)
+            if not _looks_like_tracer(receiver):
+                continue
+            event: Optional[str] = None
+            if node.args:
+                head = node.args[0]
+                if isinstance(head, ast.Constant) and isinstance(head.value, str):
+                    event = head.value
+                elif isinstance(head, ast.Attribute):
+                    event = constants.get(head.attr, head.attr)
+                elif isinstance(head, ast.Name):
+                    event = constants.get(head.id)  # None if not a constant
+            keys: Set[str] = set()
+            dynamic = False
+            for keyword in node.keywords:
+                if keyword.arg is None:
+                    dynamic = True
+                else:
+                    keys.add(keyword.arg)
+            sites.append(EmitSite(
+                module=module, node=node, event=event, keys=keys,
+                dynamic=dynamic,
+                context=enclosing_context(module, node, index)))
+    return sites
+
+
+def check(modules: List[SourceModule]) -> List[Finding]:
+    registry = parse_registry(modules)
+    sites = collect_emit_sites(modules, registry)
+    findings: List[Finding] = []
+    if registry is None:
+        if sites:
+            first = sites[0]
+            findings.append(Finding(
+                "TRACE000", first.module.path, first.node.lineno,
+                "tracer.emit call sites exist but no schema registry "
+                "(%s) was found in the analyzed tree" % SCHEMA_MODULE,
+                hint="add the registry module or widen the analyzed paths",
+                context=first.context))
+        return findings
+    for site in sites:
+        line = site.node.lineno
+        if site.event is None:
+            # Event name is a runtime variable (e.g. Tracer.ingest
+            # re-emitting forwarded events); nothing to check statically.
+            continue
+        schema = registry.events.get(site.event)
+        if schema is None:
+            findings.append(Finding(
+                "TRACE001", site.module.path, line,
+                "trace event %r is not registered in %s"
+                % (site.event, SCHEMA_MODULE),
+                hint="declare it with _event(%r, required=(...), "
+                     "optional=(...))" % site.event,
+                context=site.context))
+            continue
+        if site.dynamic and not schema.allow_extra:
+            findings.append(Finding(
+                "TRACE004", site.module.path, line,
+                "event %r is emitted with a dynamic **payload but its "
+                "schema is closed" % site.event,
+                hint="pass explicit keys, or declare allow_extra=True in "
+                     "the registry",
+                context=site.context))
+        if not site.dynamic:
+            for missing in sorted(schema.required - site.keys):
+                findings.append(Finding(
+                    "TRACE003", site.module.path, line,
+                    "event %r missing required key %r at this emit site"
+                    % (site.event, missing),
+                    hint="every backend must pass the required keys; see "
+                         "the registry entry",
+                    context=site.context))
+        if not schema.allow_extra:
+            undeclared = site.keys - schema.allowed() - set(registry.envelope)
+            for extra in sorted(undeclared):
+                findings.append(Finding(
+                    "TRACE002", site.module.path, line,
+                    "event %r passes undeclared key %r (backend drift: the "
+                    "registry knows %s)"
+                    % (site.event, extra,
+                       ", ".join(sorted(schema.allowed())) or "no keys"),
+                    hint="rename the key to a declared one or add it to the "
+                         "registry entry",
+                    context=site.context))
+    return findings

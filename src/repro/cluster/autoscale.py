@@ -45,6 +45,8 @@ import time
 from dataclasses import dataclass
 from typing import Callable, List, Optional, Tuple
 
+from repro.obs import schema as trace_schema
+
 __all__ = ["AutoscalePolicy", "Autoscaler"]
 
 
@@ -251,6 +253,6 @@ class Autoscaler:
         both cluster front ends carry a ``tracer``)."""
         tracer = getattr(cluster, "tracer", None)
         if tracer is not None:
-            tracer.emit("autoscale_decision", round=round_index,
+            tracer.emit(trace_schema.AUTOSCALE_DECISION, round=round_index,
                         action=action, count=count,
                         workers=len(list(cluster.live_worker_ids)))

@@ -32,6 +32,7 @@ from repro.engine.executor import SymbolicExecutor
 from repro.engine.limits import ExplorationLimits, effective_limits
 from repro.engine.state import ExecutionState
 from repro.engine.test_case import TestCase
+from repro.obs import schema as trace_schema
 from repro.obs.status import StatusServer
 from repro.obs.trace import NULL_TRACER, Tracer
 from repro.solver.cache import aggregate_cache_counters
@@ -281,7 +282,7 @@ class Cloud9Cluster:
                 worker.coverage_view.merge_global(bits))
         self._workers_added += 1
         self._peak_workers = max(self._peak_workers, len(self.workers))
-        self.tracer.emit("worker_joined", worker=worker_id,
+        self.tracer.emit(trace_schema.WORKER_JOINED, worker=worker_id,
                          workers=len(self.workers))
         return worker_id
 
@@ -311,7 +312,7 @@ class Cloud9Cluster:
         self.workers.remove(worker)
         self._draining.append(worker)
         self._workers_removed += 1
-        self.tracer.emit("worker_draining", worker=worker_id,
+        self.tracer.emit(trace_schema.WORKER_DRAINING, worker=worker_id,
                          queue=worker.queue_length)
         survivors = sorted(self.workers, key=lambda w: w.queue_length)
 
@@ -365,7 +366,7 @@ class Cloud9Cluster:
         if worker.queue_length == 0 and worker in self._draining:
             self._draining.remove(worker)
             self._departed.append(worker)
-            self.tracer.emit("worker_left", worker=worker.worker_id,
+            self.tracer.emit(trace_schema.WORKER_LEFT, worker=worker.worker_id,
                              workers=len(self.workers))
         return moved
 
@@ -547,7 +548,7 @@ class Cloud9Cluster:
         self.autoscaler = (Autoscaler(config.autoscale)
                            if config.autoscale is not None else None)
         tracer = self.tracer
-        tracer.emit("run_started", backend=self.backend_name,
+        tracer.emit(trace_schema.RUN_STARTED, backend=self.backend_name,
                     workers=len(self.workers), line_count=line_count,
                     resumed_from_round=self._resumed_from_round)
         traced_bugs = 0
@@ -612,7 +613,7 @@ class Cloud9Cluster:
             if balancing and round_index % config.balance_interval == 0:
                 for command in self.load_balancer.balance(round_index):
                     result.transfer_commands += 1
-                    tracer.emit("job_transferred", round=round_index,
+                    tracer.emit(trace_schema.JOB_TRANSFERRED, round=round_index,
                                 source=command.source,
                                 destination=command.destination,
                                 jobs=command.job_count)
@@ -649,11 +650,11 @@ class Cloud9Cluster:
             result.total_states_transferred += states_transferred
             if tracer.enabled:
                 if bugs_found > traced_bugs:
-                    tracer.emit("bug_found", round=round_index,
+                    tracer.emit(trace_schema.BUG_FOUND, round=round_index,
                                 bugs=bugs_found, new=bugs_found - traced_bugs)
                     traced_bugs = bugs_found
                 tracer.emit(
-                    "round_completed", round=round_index,
+                    trace_schema.ROUND_COMPLETED, round=round_index,
                     elapsed=round(elapsed, 6),
                     coverage_percent=round(coverage_percent, 3),
                     covered_lines=len(covered), paths=paths_completed,
@@ -688,7 +689,7 @@ class Cloud9Cluster:
             # 4b. Periodic checkpoint (between rounds, after status merge).
             if checkpoint_due:
                 self._write_checkpoint(round_index)
-                tracer.emit("checkpoint_written", round=round_index,
+                tracer.emit(trace_schema.CHECKPOINT_WRITTEN, round=round_index,
                             path=config.checkpoint_path)
 
             # 5. Termination checks.
@@ -715,10 +716,10 @@ class Cloud9Cluster:
         result.wall_time = self._base_wall + (time.monotonic() - start)
         final = self._finalize(result, round_index)
         if tracer.enabled:
-            tracer.emit("solver_query",
+            tracer.emit(trace_schema.SOLVER_QUERY,
                         **{k: v for k, v in final.cache_stats.items()
                            if isinstance(v, int) and v})
-            tracer.emit("run_finished", rounds=final.rounds_executed,
+            tracer.emit(trace_schema.RUN_FINISHED, rounds=final.rounds_executed,
                         paths=final.paths_completed,
                         coverage_percent=round(final.coverage_percent, 3),
                         bugs=len(final.bugs),

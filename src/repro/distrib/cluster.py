@@ -89,6 +89,7 @@ from repro.net.transport import (
     TransportError,
     reap_process,
 )
+from repro.obs import schema as trace_schema
 from repro.obs.status import StatusServer
 from repro.obs.trace import NULL_TRACER, Tracer
 from repro.solver.cache import aggregate_cache_counters
@@ -594,9 +595,9 @@ class ProcessCloud9Cluster:
             # process exit) -- kept as its own counter on the result.
             self._heartbeat_misses += 1
             if self.tracer.enabled:
-                self.tracer.emit("heartbeat_miss", worker=handle.worker_id)
+                self.tracer.emit(trace_schema.HEARTBEAT_MISS, worker=handle.worker_id)
         if self.tracer.enabled:
-            self.tracer.emit("worker_died", worker=handle.worker_id,
+            self.tracer.emit(trace_schema.WORKER_DIED, worker=handle.worker_id,
                              reason=failure.reason, draining=was_draining)
         if handle.cache_counters:
             # Its FinalReply will never arrive; the last piggybacked
@@ -639,7 +640,7 @@ class ProcessCloud9Cluster:
                     replacement = self._spawn_worker()
                     result.respawns += 1
                     if self.tracer.enabled:
-                        self.tracer.emit("worker_respawned",
+                        self.tracer.emit(trace_schema.WORKER_RESPAWNED,
                                          worker=replacement.worker_id)
                 except _WorkerFailure as failure:
                     result.worker_failures += 1
@@ -678,7 +679,7 @@ class ProcessCloud9Cluster:
             handle.queue_length += reply.imported
             result.jobs_recovered += 1
             if self.tracer.enabled:
-                self.tracer.emit("jobs_recovered", worker=handle.worker_id,
+                self.tracer.emit(trace_schema.JOBS_RECOVERED, worker=handle.worker_id,
                                  jobs=reply.imported)
             report = self.load_balancer.reports.get(handle.worker_id)
             if report is not None:
@@ -725,7 +726,7 @@ class ProcessCloud9Cluster:
         self._workers_added += 1
         self._peak_workers = max(self._peak_workers, len(self.handles))
         if self.tracer.enabled:
-            self.tracer.emit("worker_joined", worker=handle.worker_id)
+            self.tracer.emit(trace_schema.WORKER_JOINED, worker=handle.worker_id)
         return handle.worker_id
 
     def remove_worker(self, worker_id: int) -> int:
@@ -753,7 +754,7 @@ class ProcessCloud9Cluster:
         self._workers_removed += 1
         self.load_balancer.deregister_worker(worker_id)
         if self.tracer.enabled:
-            self.tracer.emit("worker_draining", worker=worker_id,
+            self.tracer.emit(trace_schema.WORKER_DRAINING, worker=worker_id,
                              queue=handle.queue_length)
         return self._drain_handle(handle)
 
@@ -826,7 +827,7 @@ class ProcessCloud9Cluster:
         if handle in self._draining:
             self._draining.remove(handle)
         if self.tracer.enabled:
-            self.tracer.emit("worker_left", worker=handle.worker_id)
+            self.tracer.emit(trace_schema.WORKER_LEFT, worker=handle.worker_id)
         self.ledger.forget(handle.worker_id)
         try:
             self._send(handle, StopCommand())
@@ -1059,7 +1060,7 @@ class ProcessCloud9Cluster:
                 self._flush_recovery(result)
 
         if tracer.enabled:
-            tracer.emit("run_started", backend=backend,
+            tracer.emit(trace_schema.RUN_STARTED, backend=backend,
                         workers=len(self.handles), test=self.spec_name,
                         line_count=self.line_count,
                         resumed_from_round=self._resumed_from_round)
@@ -1187,8 +1188,11 @@ class ProcessCloud9Cluster:
             result.total_states_transferred += states_transferred
             if tracer.enabled:
                 if bugs_found > traced_bugs:
-                    tracer.emit("bug_found", round=round_index,
-                                bugs_found=bugs_found,
+                    # Key name matches the in-process coordinator's
+                    # bug_found payload (the checker holds shared events
+                    # to one schema across backends).
+                    tracer.emit(trace_schema.BUG_FOUND, round=round_index,
+                                bugs=bugs_found,
                                 new=bugs_found - traced_bugs)
                     traced_bugs = bugs_found
                 detail = {}
@@ -1201,7 +1205,7 @@ class ProcessCloud9Cluster:
                         "replay": status.replay_instructions - prev_r,
                         "queue": status.queue_length,
                     }
-                tracer.emit("round_completed", round=round_index,
+                tracer.emit(trace_schema.ROUND_COMPLETED, round=round_index,
                             elapsed=elapsed,
                             coverage_percent=coverage_percent,
                             covered_lines=covered_count,
@@ -1233,7 +1237,7 @@ class ProcessCloud9Cluster:
             if checkpoint_due and result.worker_failures == failures_before:
                 self._write_checkpoint(round_index, statuses)
                 if tracer.enabled:
-                    tracer.emit("checkpoint_written", round=round_index,
+                    tracer.emit(trace_schema.CHECKPOINT_WRITTEN, round=round_index,
                                 path=config.checkpoint_path)
 
             # 5. Termination checks (same order as the in-process cluster).
@@ -1263,10 +1267,10 @@ class ProcessCloud9Cluster:
         result.wall_time = self._base_wall + (time.monotonic() - start)
         final = self._finalize(result, round_index)
         if tracer.enabled:
-            tracer.emit("solver_query", **{
+            tracer.emit(trace_schema.SOLVER_QUERY, **{
                 key: value for key, value in final.cache_stats.items()
                 if isinstance(value, int) and value})
-            tracer.emit("run_finished", rounds=final.rounds_executed,
+            tracer.emit(trace_schema.RUN_FINISHED, rounds=final.rounds_executed,
                         paths=final.paths_completed,
                         coverage_percent=final.coverage_percent,
                         bugs=len(final.bugs),
@@ -1316,7 +1320,7 @@ class ProcessCloud9Cluster:
             return 0
         destination.queue_length += imported.imported
         if self.tracer.enabled and imported.imported:
-            self.tracer.emit("job_transferred", round=round_index,
+            self.tracer.emit(trace_schema.JOB_TRANSFERRED, round=round_index,
                              source=command.source,
                              destination=command.destination,
                              jobs=imported.imported)

@@ -16,8 +16,10 @@ prematurely at the destination) is tested deterministically.
 from __future__ import annotations
 
 import importlib
+import multiprocessing
+import queue as queue_module
 import traceback
-from typing import Optional, Sequence
+from typing import Callable, Optional, Sequence
 
 from repro.cluster.jobs import Job, JobTree
 from repro.cluster.worker import Worker
@@ -157,15 +159,33 @@ class DistribWorker:
         )
 
 
+#: How long :func:`worker_main` waits on its command queue before checking
+#: that the parent coordinator still exists.  Small enough that an orphaned
+#: worker exits promptly; command latency is unaffected (a queued command
+#: wakes the ``get`` immediately).
+COMMAND_POLL_INTERVAL = 1.0
+
+
+def _parent_is_alive() -> bool:
+    parent = multiprocessing.parent_process()
+    return parent is None or parent.is_alive()
+
+
 def worker_main(worker_id: int, spec_name: str, spec_params: dict,
                 strategy: Optional[str], spec_modules: Sequence[str],
-                command_queue, reply_queue) -> None:
+                command_queue, reply_queue,
+                parent_alive: Optional[Callable[[], bool]] = None) -> None:
     """Process entry point: rebuild the test from its spec and serve commands.
 
     Any exception -- during startup or while handling a command -- is shipped
     back as an :class:`~repro.distrib.messages.ErrorReply` so the coordinator
-    can fail the run with the worker's traceback instead of hanging.
+    can fail the run with the worker's traceback instead of hanging.  The
+    command wait is bounded: between attempts the worker checks that the
+    coordinator process still exists (``parent_alive``, injectable for
+    tests) and exits instead of surviving as an orphan when it does not.
     """
+    if parent_alive is None:
+        parent_alive = _parent_is_alive
     try:
         for module_name in spec_modules:
             importlib.import_module(module_name)
@@ -179,7 +199,12 @@ def worker_main(worker_id: int, spec_name: str, spec_params: dict,
                                    details=traceback.format_exc()))
         return
     while True:
-        command = command_queue.get()
+        try:
+            command = command_queue.get(timeout=COMMAND_POLL_INTERVAL)
+        except queue_module.Empty:
+            if not parent_alive():
+                return  # orphaned: the coordinator died without StopCommand
+            continue
         if isinstance(command, StopCommand):
             break
         try:

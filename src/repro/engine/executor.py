@@ -33,6 +33,7 @@ from repro.engine.tree import ExecutionTree, NodeStatus, TreeNode
 from repro.lang.ast import Program
 from repro.lang.compiler import CompiledProgram, compile_program
 from repro.obs.metrics import CounterField, bind_counters, counter_fields
+from repro.obs import schema as trace_schema
 from repro.obs.trace import NULL_TRACER, Tracer
 from repro.solver.solver import Solver
 
@@ -301,7 +302,7 @@ class SymbolicExecutor:
         solver_stats_at_start = self.solver.stats.snapshot()
 
         tracer = Tracer(lim.trace_path) if lim.trace_path else NULL_TRACER
-        tracer.emit("run_started", backend="single", workers=1,
+        tracer.emit(trace_schema.RUN_STARTED, backend="single", workers=1,
                     test=self.program.name, line_count=result.line_count)
         # The single engine has no rounds; every ``trace_round`` steps it
         # emits a pseudo round so coverage-over-time still renders.
@@ -336,7 +337,7 @@ class SymbolicExecutor:
                 while len(self.bugs) > traced_bugs:
                     bug = self.bugs[traced_bugs]
                     traced_bugs += 1
-                    tracer.emit("bug_found", kind=bug.kind.name,
+                    tracer.emit(trace_schema.BUG_FOUND, kind=bug.kind.name,
                                 message=bug.message)
                 if result.steps % trace_round == 0:
                     traced_prev_useful = self._trace_round(
@@ -358,9 +359,9 @@ class SymbolicExecutor:
             self._trace_round(tracer, traced_rounds, start, result,
                               instructions_at_start, paths_at_start, candidates,
                               traced_prev_useful)
-            tracer.emit("solver_query", **{k: v for k, v
+            tracer.emit(trace_schema.SOLVER_QUERY, **{k: v for k, v
                                            in result.solver_stats.items() if v})
-            tracer.emit("run_finished", paths=result.paths_completed,
+            tracer.emit(trace_schema.RUN_FINISHED, paths=result.paths_completed,
                         coverage_percent=round(result.coverage_percent, 3),
                         bugs=len(result.bugs), steps=result.steps,
                         instructions=result.instructions_executed,
@@ -385,7 +386,7 @@ class SymbolicExecutor:
         total_useful = self.total_instructions - instructions_at_start
         useful = total_useful - prev_useful
         tracer.emit(
-            "round_completed", round=round_index,
+            trace_schema.ROUND_COMPLETED, round=round_index,
             elapsed=round(time.monotonic() - start, 6),
             coverage_percent=round(percent, 3), covered_lines=covered,
             paths=self.paths_completed - paths_at_start,

@@ -94,7 +94,8 @@ class Interpreter:
                 return frame.locals[expr.name]
             except KeyError:
                 raise EngineInternalError(
-                    "use of undefined variable %r in %s" % (expr.name, frame.function))
+                    "use of undefined variable %r in %s"
+                    % (expr.name, frame.function)) from None
         if isinstance(expr, BinExpr):
             left = self.eval_expr(state, frame, expr.left)
             right = self.eval_expr(state, frame, expr.right)

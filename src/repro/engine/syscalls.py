@@ -181,7 +181,7 @@ def native_free(ctx: NativeContext):
     try:
         ctx.state.free(address)
     except MemoryError_ as exc:
-        raise NativeBug(BugKind.INVALID_FREE, str(exc))
+        raise NativeBug(BugKind.INVALID_FREE, str(exc)) from exc
     return 0
 
 

@@ -29,6 +29,7 @@ receives as process arguments today, just travelling over the wire.
 from __future__ import annotations
 
 import queue as queue_module
+import select
 import socket
 import threading
 import time
@@ -260,11 +261,21 @@ class TcpTransport(Transport):
     #: Socket read chunk size (frames are reassembled, so any value works).
     RECV_CHUNK = 65536
 
+    #: Longest a single send may stall waiting for the peer to drain its
+    #: receive buffer before the peer is declared dead.  Heartbeats bound
+    #: how long a *silent* peer survives; this bounds a peer that stopped
+    #: reading -- otherwise one stalled worker wedges the coordinator's
+    #: broadcast loop (the send happens under ``_send_lock``).
+    SEND_TIMEOUT = 30.0
+
     def __init__(self, sock: socket.socket, peer: str,
                  max_frame_size: int = DEFAULT_MAX_FRAME_SIZE,
                  heartbeat: Optional[HeartbeatMonitor] = None,
-                 metrics: Optional[MetricsRegistry] = None):
+                 metrics: Optional[MetricsRegistry] = None,
+                 send_timeout: Optional[float] = None):
         self._sock = sock
+        self.send_timeout = (self.SEND_TIMEOUT if send_timeout is None
+                             else send_timeout)
         self.peer = peer
         self.max_frame_size = max_frame_size
         self.heartbeat = heartbeat
@@ -289,9 +300,32 @@ class TcpTransport(Transport):
     # -- sending ------------------------------------------------------------------
 
     def _sendall(self, data: bytes) -> None:
+        # Bounded hand-rolled sendall: wait for writability with a deadline
+        # instead of calling sock.sendall(), which can block indefinitely
+        # under _send_lock when the peer stops reading (kernel buffers full).
+        # Each write uses MSG_DONTWAIT so a single send() can never block
+        # either (a blocking unix-stream send waits for the *whole* buffer,
+        # even after select reports writability); the socket's blocking mode
+        # is left alone because the receiver thread shares the fd.
+        deadline = time.monotonic() + self.send_timeout
+        view = memoryview(data)
         try:
             with self._send_lock:
-                self._sock.sendall(data)
+                while view:
+                    remaining = deadline - time.monotonic()
+                    if remaining <= 0:
+                        raise TransportClosed(
+                            "send to %s stalled for %.0fs (peer stopped "
+                            "reading)" % (self.peer, self.send_timeout))
+                    _, writable, _ = select.select(
+                        [], [self._sock], [], min(remaining, 1.0))
+                    if not writable:
+                        continue
+                    try:
+                        sent = self._sock.send(view, socket.MSG_DONTWAIT)
+                    except BlockingIOError:
+                        continue  # lost the race for the buffer space
+                    view = view[sent:]
         except OSError as exc:
             raise TransportClosed(
                 "connection to %s is closed: %s" % (self.peer, exc)) from exc

@@ -21,11 +21,13 @@ aggregates only.  This package is the substrate those views are built on:
   transfer/autoscale/failure timeline from any run's trace.
 """
 
+from repro.obs import schema
 from repro.obs.metrics import Counter, Gauge, Histogram, MetricsRegistry
 from repro.obs.trace import NULL_TRACER, BufferTracer, NullTracer, Tracer, load_trace
 from repro.obs.status import StatusServer, read_status
 
 __all__ = [
+    "schema",
     "Counter",
     "Gauge",
     "Histogram",

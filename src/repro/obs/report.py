@@ -24,15 +24,18 @@ import json
 import sys
 from typing import Any, Dict, List, Optional
 
+from repro.obs import schema
 from repro.obs.trace import load_trace
 
 __all__ = ["analyze_trace", "render_report", "main"]
 
 _TIMELINE_EVENTS = (
-    "run_started", "job_transferred", "worker_joined", "worker_draining",
-    "worker_left", "worker_died", "worker_respawned", "jobs_recovered",
-    "autoscale_decision", "checkpoint_written", "heartbeat_miss",
-    "bug_found", "trace_events_dropped", "run_finished",
+    schema.RUN_STARTED, schema.JOB_TRANSFERRED, schema.WORKER_JOINED,
+    schema.WORKER_DRAINING, schema.WORKER_LEFT, schema.WORKER_DIED,
+    schema.WORKER_RESPAWNED, schema.JOBS_RECOVERED,
+    schema.AUTOSCALE_DECISION, schema.CHECKPOINT_WRITTEN,
+    schema.HEARTBEAT_MISS, schema.BUG_FOUND, schema.TRACE_EVENTS_DROPPED,
+    schema.RUN_FINISHED,
 )
 
 
@@ -46,10 +49,10 @@ def analyze_trace(events: List[Dict[str, Any]]) -> Dict[str, Any]:
 
     for event in events:
         name = event.get("event")
-        if name == "run_started":
+        if name == schema.RUN_STARTED:
             run_info = {k: v for k, v in event.items()
                         if k not in ("seq", "event")}
-        elif name == "round_completed":
+        elif name == schema.ROUND_COMPLETED:
             coverage.append({
                 "ts": event.get("ts", 0.0),
                 "round": event.get("round", len(coverage)),
@@ -68,7 +71,7 @@ def analyze_trace(events: List[Dict[str, Any]]) -> Dict[str, Any]:
                 entry["rounds"] += 1
                 if not useful and not replay:
                     entry["idle_rounds"] += 1
-        elif name == "run_finished":
+        elif name == schema.RUN_FINISHED:
             summary = {k: v for k, v in event.items()
                        if k not in ("seq", "event")}
         if name in _TIMELINE_EVENTS:

@@ -44,6 +44,8 @@ import time
 import uuid
 from typing import Any, Dict, Iterable, List, Optional
 
+from repro.obs.schema import SPAN, TRACE_EVENTS_DROPPED, WORKER_EVENT
+
 __all__ = ["Tracer", "NullTracer", "NULL_TRACER", "BufferTracer", "load_trace"]
 
 
@@ -107,7 +109,7 @@ class Tracer:
         """
         for event in events:
             fields = dict(event)
-            name = fields.pop("event", "worker_event")
+            name = fields.pop("event", WORKER_EVENT)
             fields.pop("seq", None)
             fields.pop("run", None)
             wts = fields.pop("ts", None)
@@ -148,7 +150,7 @@ class _Span:
         return self
 
     def __exit__(self, *exc) -> None:
-        self._tracer.emit("span", phase=self._phase,
+        self._tracer.emit(SPAN, phase=self._phase,
                           duration=time.monotonic() - self._start,
                           **self._fields)
 
@@ -246,7 +248,7 @@ class BufferTracer:
         if self._dropped:
             events.append({
                 "ts": time.monotonic() - self._epoch,
-                "event": "trace_events_dropped",
+                "event": TRACE_EVENTS_DROPPED,
                 "count": self._dropped,
             })
             self._dropped = 0

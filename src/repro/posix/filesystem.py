@@ -300,7 +300,9 @@ def posix_write(ctx: NativeContext):
         if peer is None or peer.read_closed or peer.write_closed:
             return ERR  # EPIPE
 
-    def success(target: ExecutionState, data=list(cells)) -> None:
+    data = list(cells)  # snapshot: `cells` may be a live view of state memory
+
+    def success(target: ExecutionState) -> None:
         _commit_write(target, fd, data)
 
     if fault_injection_active(ctx, entry, is_write=True):

@@ -398,7 +398,7 @@ def build_utility_program(name: str,
         body_builder = _UTILITIES[name]
     except KeyError:
         raise ValueError("unknown utility %r (have: %s)"
-                         % (name, ", ".join(utility_names())))
+                         % (name, ", ".join(utility_names()))) from None
     return _program(name, body_builder, input_size=input_size)
 
 

@@ -2,11 +2,24 @@
 
 from __future__ import annotations
 
+import textwrap
+
 import pytest
 
 from repro import lang as L
 from repro.engine import EngineConfig, SymbolicExecutor
 from repro.posix import install_posix_model
+
+
+def write_tree(root, files):
+    """Materialize ``{relative/path.py: source}`` under ``root`` for the
+    static-analysis tests; sources are dedented so fixtures can be written
+    inline.  Returns ``root`` as a string."""
+    for relative, source in files.items():
+        path = root / relative
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(textwrap.dedent(source), encoding="utf-8")
+    return str(root)
 
 
 def branchy_program(buffer_size: int = 3) -> L.Program:

@@ -1,0 +1,88 @@
+"""Baseline grandfathering: adopt, ratchet one way, report stale entries."""
+
+import json
+
+from repro.analysis import baseline
+from repro.analysis.core import Finding
+
+
+def _finding(checker="CONC001", path="src/a.py", line=10,
+             message="blocking call", context="C.f"):
+    return Finding(checker, path, line, message, context=context)
+
+
+class TestRoundTrip:
+    def test_write_then_load(self, tmp_path):
+        path = str(tmp_path / "analysis_baseline.json")
+        count = baseline.write_baseline(
+            [_finding(), _finding(checker="DET003", line=4)], path)
+        assert count == 2
+        entries = baseline.load_baseline(path)
+        assert {e["checker"] for e in entries} == {"CONC001", "DET003"}
+        assert all(set(e) == {"checker", "path", "context", "message"}
+                   for e in entries)  # no line numbers in the fingerprint
+
+    def test_missing_file_is_an_empty_baseline(self, tmp_path):
+        assert baseline.load_baseline(str(tmp_path / "absent.json")) == []
+
+    def test_corrupt_file_raises(self, tmp_path):
+        path = tmp_path / "bad.json"
+        path.write_text("{not json", encoding="utf-8")
+        try:
+            baseline.load_baseline(str(path))
+        except ValueError as exc:
+            assert "not valid JSON" in str(exc)
+        else:
+            raise AssertionError("expected ValueError")
+
+
+class TestApply:
+    def test_grandfathered_finding_is_suppressed(self, tmp_path):
+        path = str(tmp_path / "b.json")
+        old = _finding()
+        baseline.write_baseline([old], path)
+        # Same defect, different line: still grandfathered (fingerprint is
+        # line-independent).
+        moved = _finding(line=99)
+        active, suppressed, stale = baseline.apply_baseline(
+            [moved], baseline.load_baseline(path))
+        assert active == []
+        assert suppressed == 1
+        assert stale == []
+
+    def test_new_finding_stays_active(self, tmp_path):
+        path = str(tmp_path / "b.json")
+        baseline.write_baseline([_finding()], path)
+        fresh = _finding(checker="DET001", message="global RNG")
+        active, suppressed, _ = baseline.apply_baseline(
+            [_finding(), fresh], baseline.load_baseline(path))
+        assert active == [fresh]
+        assert suppressed == 1
+
+    def test_fixed_finding_surfaces_as_stale(self, tmp_path):
+        path = str(tmp_path / "b.json")
+        baseline.write_baseline([_finding()], path)
+        active, suppressed, stale = baseline.apply_baseline(
+            [], baseline.load_baseline(path))
+        assert active == []
+        assert suppressed == 0
+        assert len(stale) == 1 and stale[0]["checker"] == "CONC001"
+
+    def test_duplicate_fingerprints_count_as_a_multiset(self):
+        # Two identical defects in one function (same message, same
+        # qualname): the baseline holds two entries; fixing one of them
+        # leaves one suppressed and one stale.
+        entries = [{"checker": "CONC001", "path": "src/a.py",
+                    "context": "C.f", "message": "blocking call"}] * 2
+        active, suppressed, stale = baseline.apply_baseline(
+            [_finding()], entries)
+        assert active == []
+        assert suppressed == 1
+        assert len(stale) == 1
+
+    def test_baseline_file_format_is_versioned(self, tmp_path):
+        path = tmp_path / "b.json"
+        baseline.write_baseline([_finding()], str(path))
+        data = json.loads(path.read_text(encoding="utf-8"))
+        assert data["version"] == 1
+        assert isinstance(data["findings"], list)

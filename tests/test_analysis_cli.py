@@ -1,0 +1,171 @@
+"""The ``python -m repro.analysis`` entry point, end to end."""
+
+import json
+from pathlib import Path
+
+from repro.analysis import cli
+
+from conftest import write_tree
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+VIOLATING = """\
+    import random
+
+    def pick(items):
+        return random.choice(items)
+"""
+
+
+def _tree(tmp_path, source=VIOLATING, relpath="src/repro/engine/pick.py"):
+    return write_tree(tmp_path, {relpath: source})
+
+
+def _args(tmp_path, *extra):
+    return [*extra, "--baseline", str(tmp_path / "analysis_baseline.json"),
+            "--lock", str(tmp_path / "protocol.lock.json")]
+
+
+class TestExitCodes:
+    def test_violations_exit_nonzero_and_print_findings(self, tmp_path, capsys):
+        root = _tree(tmp_path)
+        assert cli.main(_args(tmp_path, root)) == 1
+        out = capsys.readouterr().out
+        assert "[DET001]" in out
+        assert "pick.py:4" in out
+        assert "(fix:" in out
+
+    def test_clean_tree_exits_zero(self, tmp_path, capsys):
+        root = _tree(tmp_path, source="x = 1\n")
+        assert cli.main(_args(tmp_path, root)) == 0
+        assert "0 finding(s)" in capsys.readouterr().out
+
+    def test_missing_path_is_a_usage_error(self, tmp_path, capsys):
+        assert cli.main([str(tmp_path / "nowhere")]) == 2
+        assert "no such path" in capsys.readouterr().err
+
+    def test_unknown_select_family_is_a_usage_error(self, tmp_path, capsys):
+        root = _tree(tmp_path)
+        assert cli.main(_args(tmp_path, root, "--select", "BOGUS")) == 2
+        assert "unknown checker families" in capsys.readouterr().err
+
+    def test_syntax_errors_are_findings_not_crashes(self, tmp_path, capsys):
+        root = _tree(tmp_path, source="def broken(:\n")
+        assert cli.main(_args(tmp_path, root)) == 1
+        assert "[ANA001]" in capsys.readouterr().out
+
+
+class TestSelect:
+    def test_select_filters_checker_families(self, tmp_path, capsys):
+        root = _tree(tmp_path)
+        assert cli.main(_args(tmp_path, root, "--select", "CONC")) == 0
+        assert cli.main(_args(tmp_path, root, "--select", "DET,CONC")) == 1
+        assert "[DET001]" in capsys.readouterr().out
+
+
+class TestBaselineFlow:
+    def test_write_baseline_then_rerun_is_green(self, tmp_path, capsys):
+        root = _tree(tmp_path)
+        assert cli.main(_args(tmp_path, root, "--write-baseline")) == 0
+        assert cli.main(_args(tmp_path, root)) == 0
+        assert "grandfathered" in capsys.readouterr().out
+
+    def test_new_finding_breaks_through_the_baseline(self, tmp_path, capsys):
+        root = _tree(tmp_path)
+        assert cli.main(_args(tmp_path, root, "--write-baseline")) == 0
+        _tree(tmp_path, relpath="src/repro/engine/other.py", source="""\
+            import time
+
+            def stale(job):
+                return time.time() - job.created > 60
+        """)
+        assert cli.main(_args(tmp_path, root)) == 1
+        out = capsys.readouterr().out
+        assert "[DET003]" in out          # the new one fails the run
+        assert "[DET001]" not in out      # the grandfathered one stays quiet
+
+    def test_no_baseline_reports_everything(self, tmp_path, capsys):
+        root = _tree(tmp_path)
+        assert cli.main(_args(tmp_path, root, "--write-baseline")) == 0
+        assert cli.main(_args(tmp_path, root, "--no-baseline")) == 1
+        assert "[DET001]" in capsys.readouterr().out
+
+    def test_fixed_finding_is_reported_stale(self, tmp_path, capsys):
+        root = _tree(tmp_path)
+        assert cli.main(_args(tmp_path, root, "--write-baseline")) == 0
+        _tree(tmp_path)  # rewrite tree...
+        (Path(root) / "src/repro/engine/pick.py").write_text(
+            "def pick(items):\n    return items[0]\n", encoding="utf-8")
+        assert cli.main(_args(tmp_path, root)) == 0  # stale is a note, not a failure
+        captured = capsys.readouterr()
+        assert "stale baseline entr" in captured.err + captured.out
+
+
+class TestInlineSuppression:
+    def test_analysis_ignore_comment_waives_the_line(self, tmp_path):
+        root = _tree(tmp_path, source="""\
+            import random
+
+            def pick(items):
+                return random.choice(items)  # analysis-ignore
+        """)
+        assert cli.main(_args(tmp_path, root)) == 0
+
+    def test_scoped_ignore_only_waives_the_named_checker(self, tmp_path):
+        root = _tree(tmp_path, source="""\
+            import random
+
+            def pick(items):
+                return random.choice(items)  # analysis-ignore[DET003]
+        """)
+        assert cli.main(_args(tmp_path, root)) == 1
+
+
+class TestLockFlow:
+    WIRE = {
+        "src/repro/distrib/messages.py": """\
+            from dataclasses import dataclass
+
+            @dataclass
+            class PingCommand:
+                nonce: int
+        """,
+        "src/repro/net/transport.py": """\
+            PROTOCOL_VERSION = 1
+        """,
+    }
+
+    def test_update_lock_writes_and_then_verifies_green(self, tmp_path, capsys):
+        root = write_tree(tmp_path, self.WIRE)
+        lock = str(tmp_path / "protocol.lock.json")
+        assert cli.main([root, "--lock", lock, "--update-lock"]) == 0
+        assert "1 message classes" in capsys.readouterr().out
+        data = json.loads(Path(lock).read_text(encoding="utf-8"))
+        assert data["protocol_version"] == 1
+        assert cli.main(_args(tmp_path, root)) == 0
+
+    def test_field_add_without_bump_fails_the_gate(self, tmp_path, capsys):
+        root = write_tree(tmp_path, self.WIRE)
+        assert cli.main(_args(tmp_path, root, "--update-lock")) == 0
+        capsys.readouterr()
+        grown = dict(self.WIRE)
+        grown["src/repro/distrib/messages.py"] = (
+            self.WIRE["src/repro/distrib/messages.py"].replace(
+                "nonce: int", "nonce: int\n    urgent: bool = False"))
+        write_tree(tmp_path, grown)
+        assert cli.main(_args(tmp_path, root)) == 1
+        assert "[PROTO001]" in capsys.readouterr().out
+
+
+class TestShippedTree:
+    def test_the_real_tree_is_clean_against_its_committed_lock(self):
+        """The repo must stay green under its own gate: no findings beyond
+        the committed baseline, lock in sync with the message set."""
+        findings = cli.run_analysis(
+            [str(REPO_ROOT / "src")],
+            lock_path=str(REPO_ROOT / "protocol.lock.json"))
+        from repro.analysis import baseline as baseline_module
+        entries = baseline_module.load_baseline(
+            str(REPO_ROOT / "analysis_baseline.json"))
+        active, _, _ = baseline_module.apply_baseline(findings, entries)
+        assert active == [], "\n".join(f.render() for f in active)

@@ -1,0 +1,142 @@
+"""DET: nondeterminism sources in schedule/solver decision paths."""
+
+from repro.analysis import determinism
+from repro.analysis.core import load_modules
+
+from conftest import write_tree
+
+DECISION_PATH = "src/repro/engine/scheduler_like.py"
+BENCH_PATH = "src/repro/bench/report_like.py"
+
+
+def _check(tmp_path, source, relpath=DECISION_PATH):
+    root = write_tree(tmp_path, {relpath: source})
+    modules, parse_findings = load_modules([root])
+    assert not parse_findings
+    return determinism.check(modules)
+
+
+class TestGlobalRng:
+    def test_module_level_random_call_is_det001_everywhere(self, tmp_path):
+        findings = _check(tmp_path, """\
+            import random
+
+            def pick(items):
+                return random.choice(items)
+        """, relpath=BENCH_PATH)
+        assert [f.checker for f in findings] == ["DET001"]
+        assert "random.choice" in findings[0].message
+
+    def test_seeded_instance_rng_is_clean(self, tmp_path):
+        findings = _check(tmp_path, """\
+            import random
+
+            class Strategy:
+                def __init__(self, seed):
+                    self.rng = random.Random(seed)
+                def pick(self, items):
+                    return self.rng.choice(items)
+        """)
+        assert findings == []
+
+    def test_unseeded_random_instance_is_det002(self, tmp_path):
+        findings = _check(tmp_path, """\
+            import random
+
+            def make_rng():
+                return random.Random()
+        """)
+        assert [f.checker for f in findings] == ["DET002"]
+
+
+class TestWallClock:
+    def test_time_time_in_a_decision_path_is_det003(self, tmp_path):
+        findings = _check(tmp_path, """\
+            import time
+
+            def stale(self, job):
+                return time.time() - job.created > 60
+        """)
+        assert [f.checker for f in findings] == ["DET003"]
+
+    def test_time_time_outside_decision_paths_is_fine(self, tmp_path):
+        findings = _check(tmp_path, """\
+            import time
+
+            def stamp():
+                return time.time()
+        """, relpath=BENCH_PATH)
+        assert findings == []
+
+    def test_monotonic_is_always_fine(self, tmp_path):
+        findings = _check(tmp_path, """\
+            import time
+
+            def elapsed(start):
+                return time.monotonic() - start
+        """)
+        assert findings == []
+
+
+class TestSetOrder:
+    def test_next_iter_over_a_set_is_det004(self, tmp_path):
+        findings = _check(tmp_path, """\
+            def pick(self):
+                pending = {1, 2, 3}
+                return next(iter(pending))
+        """)
+        assert [f.checker for f in findings] == ["DET004"]
+
+    def test_set_pop_is_det004(self, tmp_path):
+        findings = _check(tmp_path, """\
+            def pick(self, jobs):
+                ready = set(jobs)
+                return ready.pop()
+        """)
+        assert [f.checker for f in findings] == ["DET004"]
+
+    def test_first_match_loop_over_a_set_is_det004(self, tmp_path):
+        findings = _check(tmp_path, """\
+            def pick(self, pending: set):
+                for job in pending:
+                    if job.ready:
+                        return job
+        """)
+        assert [f.checker for f in findings] == ["DET004"]
+
+    def test_sorted_iteration_is_the_fix(self, tmp_path):
+        findings = _check(tmp_path, """\
+            def pick(self, pending: set):
+                for job in sorted(pending):
+                    if job.ready:
+                        return job
+        """)
+        assert findings == []
+
+    def test_fold_over_a_set_is_order_insensitive(self, tmp_path):
+        findings = _check(tmp_path, """\
+            def total(self, weights: set):
+                acc = 0
+                for w in weights:
+                    acc += w
+                return acc
+        """)
+        assert findings == []
+
+    def test_dict_pop_is_not_a_set_pop(self, tmp_path):
+        # The solver's cache eviction pops from a dict -- insertion-ordered,
+        # deterministic, and must not be flagged.
+        findings = _check(tmp_path, """\
+            def evict(self):
+                table = {}
+                table.pop()
+        """)
+        assert findings == []
+
+    def test_outside_decision_paths_set_order_is_fine(self, tmp_path):
+        findings = _check(tmp_path, """\
+            def pick():
+                pending = {1, 2, 3}
+                return next(iter(pending))
+        """, relpath=BENCH_PATH)
+        assert findings == []

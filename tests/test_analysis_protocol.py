@@ -1,0 +1,189 @@
+"""PROTO: the wire-protocol lock checker, driven on fixture trees.
+
+Fixture trees mirror the real layout (``repro/distrib/messages.py`` etc.)
+under a tmp dir; the checker matches modules by path suffix, so nothing
+here needs to be importable.
+"""
+
+from repro.analysis import protocol
+from repro.analysis.core import load_modules
+
+from conftest import write_tree
+
+MESSAGES_V1 = """\
+    from dataclasses import dataclass, field
+    from typing import Optional
+
+    @dataclass(frozen=True)
+    class ExploreCommand:
+        budget: int
+        report_frontier: bool = False
+
+    @dataclass
+    class StatusReply:
+        worker_id: int
+        queue_length: int
+        note: Optional[str] = None
+
+    class NotAMessage:
+        x: int = 1
+"""
+
+TRANSPORT_V1 = """\
+    from dataclasses import dataclass
+
+    PROTOCOL_VERSION = 1
+
+    @dataclass(frozen=True)
+    class HelloMessage:
+        protocol_version: int
+        agent: str = ""
+"""
+
+
+def _tree(tmp_path, messages=MESSAGES_V1, transport=TRANSPORT_V1):
+    root = write_tree(tmp_path, {
+        "src/repro/distrib/messages.py": messages,
+        "src/repro/net/transport.py": transport,
+    })
+    modules, parse_findings = load_modules([root])
+    assert not parse_findings
+    return modules
+
+
+class TestExtraction:
+    def test_extracts_fields_types_defaults_and_version(self, tmp_path):
+        lock_data, locations = protocol.extract_protocol(_tree(tmp_path))
+        assert lock_data["protocol_version"] == 1
+        names = set(lock_data["messages"])
+        assert "repro.distrib.messages.ExploreCommand" in names
+        assert "repro.net.transport.HelloMessage" in names
+        assert "repro.distrib.messages.NotAMessage" not in names  # no @dataclass
+        fields = lock_data["messages"][
+            "repro.distrib.messages.ExploreCommand"]["fields"]
+        assert fields == [
+            {"name": "budget", "type": "int", "default": None},
+            {"name": "report_frontier", "type": "bool", "default": "False"},
+        ]
+        assert "repro.distrib.messages.StatusReply" in locations
+
+    def test_non_wire_modules_are_ignored(self, tmp_path):
+        root = write_tree(tmp_path, {"src/repro/engine/other.py": """\
+            from dataclasses import dataclass
+
+            @dataclass
+            class NotWire:
+                x: int
+        """})
+        modules, _ = load_modules([root])
+        lock_data, _ = protocol.extract_protocol(modules)
+        assert lock_data["messages"] == {}
+        # A tree with no wire modules at all produces no PROTO findings.
+        assert protocol.check(modules, str(tmp_path / "nope.json")) == []
+
+
+class TestLockVerification:
+    def _lock(self, tmp_path, modules):
+        lock_path = tmp_path / "protocol.lock.json"
+        lock_data, _ = protocol.extract_protocol(modules)
+        protocol.write_lock(lock_data, str(lock_path))
+        return str(lock_path)
+
+    def test_unchanged_tree_round_trips_clean(self, tmp_path):
+        modules = _tree(tmp_path)
+        lock_path = self._lock(tmp_path, modules)
+        assert protocol.check(modules, lock_path) == []
+
+    def test_missing_lock_is_proto002(self, tmp_path):
+        modules = _tree(tmp_path)
+        findings = protocol.check(modules, str(tmp_path / "absent.json"))
+        assert [f.checker for f in findings] == ["PROTO002"]
+        assert "missing" in findings[0].message
+
+    def test_field_added_without_bump_is_proto001(self, tmp_path):
+        modules = _tree(tmp_path)
+        lock_path = self._lock(tmp_path, modules)
+        grown = _tree(tmp_path, messages=MESSAGES_V1.replace(
+            "budget: int", "budget: int\n        trace: bool = False"))
+        findings = protocol.check(grown, lock_path)
+        assert [f.checker for f in findings] == ["PROTO001"]
+        assert "'trace' added" in findings[0].message
+        assert "bump" in findings[0].hint
+
+    def test_field_removed_and_type_changed_without_bump(self, tmp_path):
+        modules = _tree(tmp_path)
+        lock_path = self._lock(tmp_path, modules)
+        mutated = _tree(tmp_path, messages=MESSAGES_V1
+                        .replace("queue_length: int", "queue_length: float")
+                        .replace("note: Optional[str] = None\n", ""))
+        checkers = sorted(f.checker for f in protocol.check(mutated, lock_path))
+        assert checkers == ["PROTO001", "PROTO001"]
+
+    def test_new_message_without_bump_is_proto001(self, tmp_path):
+        modules = _tree(tmp_path)
+        lock_path = self._lock(tmp_path, modules)
+        grown = _tree(tmp_path, messages=MESSAGES_V1 + """\
+
+    @dataclass
+    class BrandNewCommand:
+        jobs: int
+""")
+        findings = protocol.check(grown, lock_path)
+        assert [f.checker for f in findings] == ["PROTO001"]
+        assert "BrandNewCommand" in findings[0].message
+
+    def test_version_bump_without_lock_regen_is_proto002(self, tmp_path):
+        modules = _tree(tmp_path)
+        lock_path = self._lock(tmp_path, modules)
+        bumped = _tree(tmp_path, transport=TRANSPORT_V1.replace(
+            "PROTOCOL_VERSION = 1", "PROTOCOL_VERSION = 2"))
+        findings = protocol.check(bumped, lock_path)
+        assert [f.checker for f in findings] == ["PROTO002"]
+        assert "stale" in findings[0].message
+
+    def test_bump_plus_regenerated_lock_is_clean(self, tmp_path):
+        grown_messages = MESSAGES_V1.replace(
+            "budget: int", "budget: int\n        trace: bool = False")
+        bumped = _tree(tmp_path, messages=grown_messages,
+                       transport=TRANSPORT_V1.replace(
+                           "PROTOCOL_VERSION = 1", "PROTOCOL_VERSION = 2"))
+        lock_path = self._lock(tmp_path, bumped)
+        assert protocol.check(bumped, lock_path) == []
+
+    def test_non_literal_version_is_proto002(self, tmp_path):
+        modules = _tree(tmp_path, transport=TRANSPORT_V1.replace(
+            "PROTOCOL_VERSION = 1", "PROTOCOL_VERSION = int('1')"))
+        findings = protocol.check(modules, str(tmp_path / "x.json"))
+        assert [f.checker for f in findings] == ["PROTO002"]
+        assert "plain integer" in findings[0].hint
+
+
+class TestPicklability:
+    def test_lock_and_socket_fields_are_proto003(self, tmp_path):
+        modules = _tree(tmp_path, messages="""\
+    import socket
+    import threading
+    from dataclasses import dataclass
+    from typing import Callable, Optional
+
+    @dataclass
+    class BadCommand:
+        guard: threading.Lock
+        conn: Optional[socket.socket] = None
+
+    @dataclass
+    class WorseReply:
+        callback: Callable[[], None] = lambda: None
+""")
+        findings = [f for f in protocol.check(modules, str(tmp_path / "x.json"))
+                    if f.checker == "PROTO003"]
+        messages = " ".join(f.message for f in findings)
+        assert len(findings) == 3
+        assert "Lock" in messages and "socket" in messages
+        assert "lambda" in messages or "Callable" in messages
+
+    def test_plain_data_fields_are_clean(self, tmp_path):
+        modules = _tree(tmp_path)
+        findings = [f for f in protocol.check(modules, str(tmp_path / "x.json"))
+                    if f.checker == "PROTO003"]
+        assert findings == []

@@ -1,0 +1,149 @@
+"""TRACE: trace-event schema drift, driven on fixture trees.
+
+The registry fixture mirrors :mod:`repro.obs.schema`'s shape -- literal
+``_event(...)`` assignments the checker parses statically.
+"""
+
+from repro.analysis import traceschema
+from repro.analysis.core import load_modules
+
+from conftest import write_tree
+
+REGISTRY = """\
+    ENVELOPE_KEYS = frozenset({"seq", "ts", "event", "worker"})
+
+    def _event(name, required=(), optional=(), allow_extra=False,
+               shared=False):
+        return name
+
+    ROUND_DONE = _event("round_done", required=("elapsed", "paths"),
+                        optional=("queues",), shared=True)
+    BUG_SEEN = _event("bug_seen", optional=("kind",))
+    FREEFORM = _event("freeform", allow_extra=True)
+"""
+
+
+def _modules(tmp_path, emitter_source, registry=REGISTRY):
+    files = {"src/repro/cluster/coord.py": emitter_source}
+    if registry is not None:
+        files["src/repro/obs/schema.py"] = registry
+    root = write_tree(tmp_path, files)
+    modules, parse_findings = load_modules([root])
+    assert not parse_findings
+    return modules
+
+
+class TestRegistryParsing:
+    def test_events_constants_and_envelope(self, tmp_path):
+        registry = traceschema.parse_registry(_modules(tmp_path, "x = 1"))
+        assert set(registry.events) == {"round_done", "bug_seen", "freeform"}
+        assert registry.constants["ROUND_DONE"] == "round_done"
+        assert registry.events["round_done"].required == {"elapsed", "paths"}
+        assert registry.events["round_done"].shared
+        assert registry.events["freeform"].allow_extra
+        assert registry.envelope == {"seq", "ts", "event", "worker"}
+
+    def test_missing_registry_with_emit_sites_is_trace000(self, tmp_path):
+        modules = _modules(tmp_path, """\
+            class C:
+                def f(self):
+                    self.tracer.emit("round_done", elapsed=1.0, paths=3)
+        """, registry=None)
+        findings = traceschema.check(modules)
+        assert [f.checker for f in findings] == ["TRACE000"]
+
+
+class TestEmitSites:
+    def test_conforming_emits_are_clean(self, tmp_path):
+        modules = _modules(tmp_path, """\
+            from repro.obs.schema import ROUND_DONE
+
+            class Coordinator:
+                def round_done(self, tracer):
+                    tracer.emit(ROUND_DONE, elapsed=1.0, paths=3,
+                                queues=[1, 2], worker=0)
+                    self.tracer.emit("bug_seen")
+                    self.tracer.emit("freeform", anything=1, goes=2)
+        """)
+        assert traceschema.check(modules) == []
+
+    def test_unregistered_event_is_trace001(self, tmp_path):
+        modules = _modules(tmp_path, """\
+            class C:
+                def f(self):
+                    self.tracer.emit("round_compleet", elapsed=1.0, paths=1)
+        """)
+        findings = traceschema.check(modules)
+        assert [f.checker for f in findings] == ["TRACE001"]
+        assert "round_compleet" in findings[0].message
+        assert findings[0].context == "C.f"
+
+    def test_undeclared_key_is_trace002_backend_drift(self, tmp_path):
+        # The classic drift: one backend renames a key the others still use.
+        modules = _modules(tmp_path, """\
+            class C:
+                def f(self):
+                    self.tracer.emit("bug_seen", kinds_found="overflow")
+        """)
+        findings = traceschema.check(modules)
+        assert [f.checker for f in findings] == ["TRACE002"]
+        assert "kinds_found" in findings[0].message
+
+    def test_missing_required_key_is_trace003(self, tmp_path):
+        modules = _modules(tmp_path, """\
+            class C:
+                def f(self):
+                    self.tracer.emit("round_done", elapsed=2.5)
+        """)
+        findings = traceschema.check(modules)
+        assert [f.checker for f in findings] == ["TRACE003"]
+        assert "'paths'" in findings[0].message
+
+    def test_dynamic_payload_on_closed_schema_is_trace004(self, tmp_path):
+        modules = _modules(tmp_path, """\
+            class C:
+                def f(self, extras):
+                    self.tracer.emit("round_done", **extras)
+                    self.tracer.emit("freeform", **extras)
+        """)
+        findings = traceschema.check(modules)
+        assert [f.checker for f in findings] == ["TRACE004"]  # freeform is open
+
+    def test_constant_attribute_resolves_through_the_registry(self, tmp_path):
+        modules = _modules(tmp_path, """\
+            from repro.obs import schema as trace_schema
+
+            class C:
+                def f(self):
+                    self.tracer.emit(trace_schema.ROUND_DONE, elapsed=1.0,
+                                     paths=2)
+                    self.tracer.emit(trace_schema.NO_SUCH_EVENT, a=1)
+        """)
+        findings = traceschema.check(modules)
+        assert [f.checker for f in findings] == ["TRACE001"]
+        assert "NO_SUCH_EVENT" in findings[0].message
+
+    def test_dynamic_event_name_is_skipped(self, tmp_path):
+        # Tracer.ingest re-emits forwarded events under a runtime name.
+        modules = _modules(tmp_path, """\
+            class C:
+                def f(self, name, payload):
+                    self.tracer.emit(name, **payload)
+        """)
+        assert traceschema.check(modules) == []
+
+    def test_envelope_keys_are_legal_on_any_event(self, tmp_path):
+        modules = _modules(tmp_path, """\
+            class C:
+                def f(self):
+                    self.tracer.emit("bug_seen", kind="x", worker=3, seq=1)
+        """)
+        assert traceschema.check(modules) == []
+
+    def test_non_tracer_emit_is_ignored(self, tmp_path):
+        modules = _modules(tmp_path, """\
+            class C:
+                def f(self):
+                    self.event_bus.emit("round_compleet", whatever=1)
+        """)
+        assert traceschema.check(modules) == []

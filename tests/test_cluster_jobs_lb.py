@@ -48,8 +48,8 @@ class TestJobTree:
     def test_roundtrip_property(self, paths):
         jobs = [Job(tuple(p)) for p in paths]
         tree = JobTree.from_jobs(jobs)
-        assert set(j.path for j in JobTree.decode(tree.encode()).jobs()) == \
-            set(j.path for j in jobs)
+        assert {j.path for j in JobTree.decode(tree.encode()).jobs()} == \
+            {j.path for j in jobs}
 
 
 class TestLoadBalancer:

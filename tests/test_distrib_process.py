@@ -13,8 +13,10 @@ from repro.distrib.messages import (
     ExportCommand,
     FinalizeCommand,
     ImportCommand,
+    ReadyReply,
     SeedCommand,
     StatusReply,
+    StopCommand,
 )
 from repro.testing.symbolic_test import SymbolicTest
 
@@ -138,6 +140,51 @@ class TestDistribWorker:
             status = worker.handle(ExploreCommand(budget=1000))
         assert status.broken_replays == 1
         assert status.paths_completed == 9
+
+
+class TestWorkerMainOrphanExit:
+    """worker_main's command wait is bounded: an orphaned worker (parent
+    gone, no StopCommand ever coming) must return instead of blocking on
+    queue.get() forever.  Driven in-process with plain queues and an
+    injected liveness probe."""
+
+    def _run_worker_main(self, parent_alive, preloaded_commands=()):
+        import queue
+
+        from repro.distrib import worker as worker_module
+
+        command_queue: "queue.Queue[object]" = queue.Queue()
+        reply_queue: "queue.Queue[object]" = queue.Queue()
+        for command in preloaded_commands:
+            command_queue.put(command)
+        worker_module.worker_main(
+            7, "test-branchy", {}, None, (), command_queue, reply_queue,
+            parent_alive=parent_alive)
+        return reply_queue
+
+    def test_orphaned_worker_exits_after_one_poll(self, monkeypatch):
+        from repro.distrib import worker as worker_module
+        monkeypatch.setattr(worker_module, "COMMAND_POLL_INTERVAL", 0.05)
+        replies = self._run_worker_main(parent_alive=lambda: False)
+        assert isinstance(replies.get_nowait(), ReadyReply)
+        assert replies.empty()  # returned without serving anything
+
+    def test_live_parent_keeps_the_worker_serving(self, monkeypatch):
+        from repro.distrib import worker as worker_module
+        monkeypatch.setattr(worker_module, "COMMAND_POLL_INTERVAL", 0.05)
+        polls = []
+
+        def parent_alive():
+            polls.append(True)
+            return True
+
+        replies = self._run_worker_main(
+            parent_alive=parent_alive,
+            preloaded_commands=(SeedCommand(), StopCommand()))
+        assert isinstance(replies.get_nowait(), ReadyReply)
+        assert isinstance(replies.get_nowait(), StatusReply)
+        # StopCommand ended the loop; liveness may or may not have been
+        # polled depending on timing, but it never caused an exit.
 
 
 @needs_fork

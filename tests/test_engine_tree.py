@@ -136,8 +136,8 @@ class TestLayers:
         b = tree.root.add_child(1)
         a.layers.add("states")
         b.layers.add("jobs")
-        states = [n for n in tree.root.iter_subtree(layer="states")]
-        jobs = [n for n in tree.root.iter_subtree(layer="jobs")]
+        states = list(tree.root.iter_subtree(layer="states"))
+        jobs = list(tree.root.iter_subtree(layer="jobs"))
         assert states == [a]
         assert jobs == [b]
 

@@ -344,6 +344,50 @@ class TestTcpTransport:
         with pytest.raises(TransportClosed, match="already closed"):
             a.send("too late")
 
+    def test_send_to_stalled_peer_fails_within_the_deadline(self):
+        """Regression: a peer that stops *reading* must not wedge the sender.
+
+        sock.sendall() under _send_lock blocks forever once the kernel
+        buffers fill; the bounded send must give up after send_timeout and
+        declare the peer dead instead.
+        """
+        sock_a, sock_stalled = socket.socketpair()
+        # Tiny buffers so a few frames fill the pipe; the far end never reads.
+        for sock in (sock_a, sock_stalled):
+            sock.setsockopt(socket.SOL_SOCKET, socket.SO_SNDBUF, 4096)
+            sock.setsockopt(socket.SOL_SOCKET, socket.SO_RCVBUF, 4096)
+        transport = TcpTransport(sock_a, peer="stalled-agent",
+                                 send_timeout=0.3)
+        try:
+            start = time.monotonic()
+            with pytest.raises(TransportClosed, match="stalled"):
+                for _ in range(1000):
+                    transport.send("x" * 8192)
+            assert time.monotonic() - start < 5.0
+        finally:
+            transport.close(timeout=0)
+            sock_stalled.close()
+
+    def test_multi_chunk_send_completes_when_the_peer_reads(self):
+        """The select-loop send must reassemble into identical frames even
+        when one payload spans many partial send() calls."""
+        sock_a, sock_b = socket.socketpair()
+        for sock in (sock_a, sock_b):
+            sock.setsockopt(socket.SOL_SOCKET, socket.SO_SNDBUF, 4096)
+            sock.setsockopt(socket.SOL_SOCKET, socket.SO_RCVBUF, 4096)
+        a = TcpTransport(sock_a, peer="peer-b")
+        b = TcpTransport(sock_b, peer="peer-a").start_receiver()
+        payload = "y" * (1 << 20)  # 1 MiB >> the 4 KiB socket buffers
+        try:
+            sender = threading.Thread(target=a.send, args=(payload,))
+            sender.start()
+            assert b.recv(timeout=10.0) == payload
+            sender.join(timeout=10.0)
+            assert not sender.is_alive()
+        finally:
+            a.close(timeout=0)
+            b.close(timeout=0)
+
 
 # -- coordinator-side fault containment --------------------------------------------------
 
