@@ -13,8 +13,11 @@ execution tree across shared-nothing workers:
   policy (mean +/- delta*sigma classification and pairing).
 * :mod:`repro.cluster.overlay` -- the global coverage bit-vector overlay.
 * :mod:`repro.cluster.transport` -- the simulated shared-nothing network.
-* :mod:`repro.cluster.coordinator` -- the round-based cluster runtime and
-  the public :class:`Cloud9Cluster` front end.
+* :mod:`repro.cluster.core` -- the shared :class:`CoordinatorCore` round
+  engine (the one implementation of the §3 protocol, under every backend).
+* :mod:`repro.cluster.coordinator` -- the in-process backend: member
+  construction over the simulated transport and the public
+  :class:`Cloud9Cluster` front end.
 * :mod:`repro.cluster.threaded` -- the same cluster with per-round worker
   steps on an OS thread pool (wall-clock parallelism on one machine).
 * :mod:`repro.cluster.static_partition` -- the static-partitioning baseline
@@ -33,6 +36,7 @@ execution tree across shared-nothing workers:
 from repro.cluster.autoscale import AutoscalePolicy, Autoscaler
 from repro.cluster.checkpoint import ClusterCheckpoint
 from repro.cluster.coordinator import Cloud9Cluster, ClusterConfig, ClusterResult
+from repro.cluster.core import CoordinatorCore, Member, MemberFinal
 from repro.cluster.jobs import Job, JobTree
 from repro.cluster.ledger import FrontierLedger, RecoveryJob
 from repro.cluster.load_balancer import LoadBalancer, TransferCommand
@@ -50,6 +54,9 @@ __all__ = [
     "ClusterCheckpoint",
     "ClusterConfig",
     "ClusterResult",
+    "CoordinatorCore",
+    "Member",
+    "MemberFinal",
     "FrontierLedger",
     "RecoveryJob",
     "Job",

@@ -1,7 +1,7 @@
-"""The cluster runtime: workers, load balancer and virtual time.
+"""The in-process cluster backend: workers, virtual time, simulated fabric.
 
 The paper's prototype runs workers on separate machines and measures wall
-clock.  This reproduction runs the same protocol on a simulated fabric with a
+clock.  This backend runs the same protocol on a simulated fabric with a
 *virtual clock*: time advances in rounds, every worker executes up to a fixed
 instruction budget per round, status updates and balancing happen on their
 configured intervals, and all timeline metrics (useful work, queue lengths,
@@ -9,36 +9,40 @@ state transfers, coverage) are recorded per round.  The scalability
 experiments then compare rounds-to-goal and useful-work-per-round across
 cluster sizes, which is exactly the shape of Figures 7-13.
 
-An optional thread-backed runner for wall-clock parallelism is provided in
-:mod:`repro.cluster.threaded`.
+The round protocol itself -- the loop, membership, checkpoint cadence,
+termination, finalization -- lives in :class:`repro.cluster.core.CoordinatorCore`;
+this module contributes the in-process member type (:class:`~repro.cluster.worker.Worker`
+over the simulated :class:`~repro.cluster.transport.Transport`) and the
+backend hooks.  An optional thread-backed runner for wall-clock parallelism
+is provided in :mod:`repro.cluster.threaded`.
 """
 
 from __future__ import annotations
 
 import time
-from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Optional, Sequence, Set, Tuple, Union
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional, Set, Tuple, Union
 
-from repro.cluster.autoscale import AutoscalePolicy, Autoscaler
+from repro.cluster.autoscale import AutoscalePolicy
 from repro.cluster.checkpoint import ClusterCheckpoint
+from repro.cluster.core import (ClusterResult, CoordinatorCore, MemberFinal,
+                                RoundWork, _dedupe_bugs)
 from repro.cluster.jobs import Job, JobTree
 from repro.cluster.load_balancer import LoadBalancer, TransferCommand
-from repro.cluster.stats import ClusterTimeline, RoundSnapshot, TransferCost, WorkerStats
 from repro.cluster.transport import LOAD_BALANCER_ID, Message, MessageKind, Transport
 from repro.cluster.worker import DEFAULT_STRATEGY, Worker
 from repro.engine.coverage import CoverageBitVector
 from repro.engine.errors import BugReport
 from repro.engine.executor import SymbolicExecutor
-from repro.engine.limits import ExplorationLimits, effective_limits
 from repro.engine.state import ExecutionState
 from repro.engine.test_case import TestCase
 from repro.obs import schema as trace_schema
-from repro.obs.status import StatusServer
-from repro.obs.trace import NULL_TRACER, Tracer
-from repro.solver.cache import aggregate_cache_counters
 
 ExecutorFactory = Callable[[], SymbolicExecutor]
 StateFactory = Callable[[SymbolicExecutor], ExecutionState]
+
+__all__ = ["ClusterConfig", "ClusterResult", "Cloud9Cluster",
+           "ExecutorFactory", "StateFactory", "_dedupe_bugs"]
 
 
 @dataclass
@@ -92,86 +96,7 @@ class ClusterConfig:
         self.autoscale = AutoscalePolicy.coerce(self.autoscale)
 
 
-@dataclass
-class ClusterResult:
-    """Summary and timeline of one cluster run."""
-
-    num_workers: int
-    rounds_executed: int = 0
-    exhausted: bool = False
-    goal_reached: bool = False
-    paths_completed: int = 0
-    total_useful_instructions: int = 0
-    total_replay_instructions: int = 0
-    coverage_percent: float = 0.0
-    covered_lines: Set[int] = field(default_factory=set)
-    line_count: int = 0
-    bugs: List[BugReport] = field(default_factory=list)
-    test_cases: List[TestCase] = field(default_factory=list)
-    worker_stats: Dict[int, WorkerStats] = field(default_factory=dict)
-    timeline: ClusterTimeline = field(default_factory=ClusterTimeline)
-    total_states_transferred: int = 0
-    transfer_commands: int = 0
-    messages_sent: int = 0
-    # Real elapsed seconds of the run (rounds are virtual time, but the
-    # threaded cluster's wall-clock speedup is only visible here).
-    wall_time: float = 0.0
-    # Wire cost of the path-encoded job transfers (prefix-sharing savings).
-    transfer_cost: TransferCost = field(default_factory=TransferCost)
-    # Aggregated solver-cache hit/miss counters across all worker solvers.
-    cache_stats: Dict[str, float] = field(default_factory=dict)
-    # Fault tolerance and elasticity (§2.3: workers may die, join and leave).
-    worker_failures: int = 0
-    jobs_recovered: int = 0
-    respawns: int = 0
-    # Last-known counters of workers that died mid-run (their final results
-    # were lost; survivors re-explored their territory, so these are kept
-    # separate from the totals to avoid double counting).
-    failed_worker_stats: Dict[int, WorkerStats] = field(default_factory=dict)
-    # Round index of the checkpoint this run resumed from (None = fresh run).
-    resumed_from_round: Optional[int] = None
-    # Elastic-membership accounting: workers that joined/left (voluntarily
-    # or via autoscaling) and the largest live membership the run reached.
-    # The per-round trace is ``timeline`` (RoundSnapshot.num_workers).
-    workers_added: int = 0
-    workers_removed: int = 0
-    peak_workers: int = 0
-    # TCP-transport liveness accounting (repro.net): worker deaths detected
-    # by heartbeat silence specifically, and agents admitted into an
-    # already-running cluster (respawn replacements + elastic joins).
-    heartbeat_misses: int = 0
-    agents_reconnected: int = 0
-
-    @property
-    def useful_instructions_per_worker(self) -> float:
-        if not self.num_workers:
-            return 0.0
-        return self.total_useful_instructions / self.num_workers
-
-    @property
-    def replay_overhead(self) -> float:
-        total = self.total_useful_instructions + self.total_replay_instructions
-        return self.total_replay_instructions / total if total else 0.0
-
-    def rounds_to_coverage(self, target_percent: float) -> Optional[int]:
-        return self.timeline.rounds_to_coverage(target_percent)
-
-    def bug_summaries(self) -> List[str]:
-        return sorted({b.summary() for b in self.bugs})
-
-
-def _dedupe_bugs(bugs: Sequence[BugReport]) -> List[BugReport]:
-    seen: Set[Tuple[object, ...]] = set()
-    unique: List[BugReport] = []
-    for bug in bugs:
-        key = (bug.kind, bug.message, bug.function, bug.line)
-        if key not in seen:
-            seen.add(key)
-            unique.append(bug)
-    return unique
-
-
-class Cloud9Cluster:
+class Cloud9Cluster(CoordinatorCore):
     """The public front end: build a cluster and run a symbolic-testing goal."""
 
     #: Name this backend reports in trace/status events (the threaded
@@ -181,46 +106,14 @@ class Cloud9Cluster:
     def __init__(self, executor_factory: ExecutorFactory,
                  state_factory: StateFactory,
                  config: Optional[ClusterConfig] = None):
-        self.config = config or ClusterConfig()
+        super().__init__(config or ClusterConfig())
+        self.config: ClusterConfig
         self.executor_factory = executor_factory
         self.state_factory = state_factory
         self.transport = Transport(self.config.transport_delay_rounds)
         self.workers: List[Worker] = []
-        self.load_balancer: Optional[LoadBalancer] = None
-        #: Optional callback invoked at the start of every round as
-        #: ``round_hook(round_index, cluster)`` -- the supported place to
-        #: exercise elastic membership (add/remove workers) mid-run.
-        self.round_hook: Optional[Callable[[int, "Cloud9Cluster"], None]] = None
-        #: The Autoscaler driving the current run (None unless
-        #: ``config.autoscale`` is set; fresh per ``run()`` call).
-        self.autoscaler: Optional[Autoscaler] = None
-        #: Most recent checkpoint written by this run (None until the first).
-        self.last_checkpoint: Optional[ClusterCheckpoint] = None
-        # Workers retiring incrementally: no longer exploring or balanced,
-        # handing over drain_chunk jobs per round until empty.
-        self._draining: List[Worker] = []
         # Workers that left via remove_worker; their results still count.
         self._departed: List[Worker] = []
-        # Elastic-membership accounting (reported on ClusterResult).
-        self._workers_added = 0
-        self._workers_removed = 0
-        self._peak_workers = 0
-        # Carried-over counters when resuming from a checkpoint.
-        self._base_paths = 0
-        self._base_useful = 0
-        self._base_replay = 0
-        self._base_wall = 0.0
-        self._base_covered: Set[int] = set()
-        self._base_bugs: List[BugReport] = []
-        self._base_tests: List[TestCase] = []
-        self._resumed_from_round: Optional[int] = None
-        self._run_started = 0.0
-        #: Structured event trace of the current run (:mod:`repro.obs.trace`);
-        #: the no-op tracer outside a traced ``run()``.
-        self.tracer = NULL_TRACER
-        #: Live-status endpoint of the current run (None unless
-        #: ``config.status_listen`` is set; fresh per ``run()``).
-        self.status_server: Optional[StatusServer] = None
         self._build()
         self._peak_workers = len(self.workers)
 
@@ -245,12 +138,10 @@ class Cloud9Cluster:
         # The first worker to join receives the seed job (§3.1).
         self.workers[0].seed()
 
-    # -- elastic membership (workers join and leave between rounds, §2.3) ---------------
+    # -- membership hooks (workers join and leave between rounds, §2.3) -----------------
 
-    @property
-    def live_worker_ids(self) -> List[int]:
-        """Ids of the live (exploring) members, excluding draining ones."""
-        return [w.worker_id for w in self.workers]
+    def _live_members(self) -> List[Worker]:
+        return self.workers
 
     def _next_worker_id(self) -> int:
         used = [w.worker_id for w in self.workers]
@@ -258,12 +149,7 @@ class Cloud9Cluster:
         used.extend(w.worker_id for w in self._departed)
         return max(used, default=0) + 1
 
-    def add_worker(self) -> int:
-        """Join a fresh, empty worker; the load balancer will feed it.
-
-        Returns the new worker id.  Callable between rounds (e.g. from
-        ``round_hook``) or between ``run()`` calls.
-        """
+    def _admit_member(self) -> Worker:
         worker_id = self._next_worker_id()
         executor = self.executor_factory()
         worker = Worker(worker_id, executor, self.state_factory,
@@ -280,40 +166,10 @@ class Cloud9Cluster:
         if bits:
             worker.strategy.merge_global_coverage(
                 worker.coverage_view.merge_global(bits))
-        self._workers_added += 1
-        self._peak_workers = max(self._peak_workers, len(self.workers))
-        self.tracer.emit(trace_schema.WORKER_JOINED, worker=worker_id,
-                         workers=len(self.workers))
-        return worker_id
+        return worker
 
-    @property
-    def status_address(self) -> Optional[Tuple[str, int]]:
-        """``(host, port)`` of the live-status endpoint, if one is running."""
-        return self.status_server.address if self.status_server else None
-
-    def remove_worker(self, worker_id: int) -> int:
-        """Start retiring a worker, handing its frontier over incrementally.
-
-        The worker immediately stops exploring and leaves the load
-        balancer's view -- its report and any in-flight transfer estimates
-        naming it are purged atomically, with job trees already on the wire
-        to it re-routed -- but its frontier drains in ``drain_chunk``-sized
-        job exports across the following rounds (it stays a *draining*
-        member until empty), so removal never stalls a round.  Its results
-        (paths, bugs, coverage, stats) still count toward the final
-        :class:`ClusterResult`.  Returns the number of jobs handed over in
-        the first drain chunk.
-        """
-        worker = next((w for w in self.workers if w.worker_id == worker_id), None)
-        if worker is None:
-            raise ValueError("no live worker with id %d" % worker_id)
-        if len(self.workers) == 1:
-            raise ValueError("cannot remove the last worker")
-        self.workers.remove(worker)
-        self._draining.append(worker)
-        self._workers_removed += 1
-        self.tracer.emit(trace_schema.WORKER_DRAINING, worker=worker_id,
-                         queue=worker.queue_length)
+    def _purge_departing(self, worker: Worker) -> None:
+        worker_id = worker.worker_id
         survivors = sorted(self.workers, key=lambda w: w.queue_length)
 
         # Purge the departed worker from the balancer atomically: messages
@@ -341,8 +197,6 @@ class Cloud9Cluster:
                 job_count=int(message.payload["job_count"])))
         self.load_balancer.deregister_worker(worker_id)
 
-        return self._drain_once(worker)
-
     def _credit_report(self, worker_id: int, jobs: int) -> None:
         """Adjust a worker's cached queue-length estimate after a direct
         (non-status) job hand-over so the next balance() does not plan
@@ -353,9 +207,7 @@ class Cloud9Cluster:
         if report is not None:
             report.queue_length += jobs
 
-    def _drain_once(self, worker: Worker) -> int:
-        """Export one drain chunk from a draining worker to the least-loaded
-        survivor; retires the worker once its frontier is empty."""
+    def _drain_member(self, worker: Worker) -> int:
         moved = 0
         if worker.queue_length and self.workers:
             job_tree = worker.export_jobs(self.config.drain_chunk)
@@ -366,13 +218,8 @@ class Cloud9Cluster:
         if worker.queue_length == 0 and worker in self._draining:
             self._draining.remove(worker)
             self._departed.append(worker)
-            self.tracer.emit(trace_schema.WORKER_LEFT, worker=worker.worker_id,
-                             workers=len(self.workers))
+            self._note_member_left(worker.worker_id)
         return moved
-
-    def _advance_drains(self) -> None:
-        for worker in list(self._draining):
-            self._drain_once(worker)
 
     # -- checkpoint / resume -------------------------------------------------------------
 
@@ -453,28 +300,25 @@ class Cloud9Cluster:
         self._base_tests = checkpoint.decode_test_cases()
         self._resumed_from_round = checkpoint.round_index
 
-    # -- helpers -----------------------------------------------------------------------
+    def _take_checkpoint(self, round_index: int) -> None:
+        self._write_checkpoint(round_index)
 
-    def _balancing_active(self, round_index: int) -> bool:
-        if not self.config.load_balancing_enabled:
-            return False
-        cutoff = self.config.disable_balancing_after_round
-        if cutoff is not None and round_index >= cutoff:
-            return False
-        return True
+    def _begin_run(self, result: ClusterResult,
+                   resume_from: Optional[Union[ClusterCheckpoint, str]]
+                   ) -> None:
+        if resume_from is not None:
+            self._restore(resume_from)
 
-    def _total_candidates(self) -> int:
-        # Draining workers' outstanding jobs count: they are still part of
-        # the global frontier (survivors receive them chunk by chunk).
-        return sum(w.queue_length for w in self.workers + self._draining)
+    # -- round-phase hooks ---------------------------------------------------------------
+
+    def _line_count(self) -> int:
+        return self.workers[0].executor.program.line_count
 
     def _all_covered_lines(self) -> Set[int]:
         covered: Set[int] = set(self._base_covered)
         for worker in self._members():
             covered.update(worker.executor.covered_lines)
         return covered
-
-    # -- main loop -----------------------------------------------------------------------
 
     def _explore_round(self) -> None:
         """Step every busy worker by one round's instruction budget.
@@ -486,282 +330,113 @@ class Cloud9Cluster:
             if worker.has_work:
                 worker.explore(self.config.instructions_per_round)
 
-    def run(self, max_rounds: Optional[int] = None,
-            target_coverage_percent: Optional[float] = None,
-            max_paths: Optional[int] = None,
-            stop_on_first_bug: bool = False,
-            max_wall_time: Optional[float] = None,
-            max_instructions: Optional[int] = None,
-            limits: Optional[ExplorationLimits] = None,
-            resume_from: Optional[Union[ClusterCheckpoint, str]] = None
-            ) -> ClusterResult:
-        """Run rounds until exhaustion, a goal, or a budget is spent.
+    def _pre_round(self, result: ClusterResult) -> None:
+        self._advance_drains()
 
-        Limits may be given as explicit kwargs or bundled in an
-        :class:`~repro.engine.limits.ExplorationLimits`; explicit kwargs win.
-        ``limits.coverage_target`` maps to ``target_coverage_percent`` and
-        ``limits.max_steps`` does not apply to cluster runs.
+    def _explore_phase(self, result: ClusterResult, round_index: int,
+                       checkpoint_due: bool) -> RoundWork:
+        self.transport.advance_round()
 
-        ``resume_from`` (a :class:`~repro.cluster.checkpoint.ClusterCheckpoint`
-        or a path to a saved one) restores a checkpointed frontier, coverage
-        and counters instead of starting from the seed job.
+        # 1. Deliver pending messages (job transfers, coverage, requests).
+        states_transferred = 0
+        for worker in self.workers:
+            states_transferred += worker.handle_messages(self.transport)
 
-        ``limits.trace_path`` turns on structured event tracing for the run,
-        and ``config.status_listen`` serves a live status snapshot
-        (:mod:`repro.obs`); both are torn down when the run returns.
-        """
-        lim = effective_limits(limits, max_rounds=max_rounds,
-                               coverage_target=target_coverage_percent,
-                               max_paths=max_paths,
-                               stop_on_first_bug=stop_on_first_bug,
-                               max_wall_time=max_wall_time,
-                               max_instructions=max_instructions)
-        tracer = Tracer(lim.trace_path) if lim.trace_path else NULL_TRACER
-        self.tracer = tracer
-        self.status_server = (StatusServer(self.config.status_listen)
-                              if self.config.status_listen else None)
-        try:
-            return self._run(lim, resume_from)
-        finally:
-            self.tracer = NULL_TRACER
-            tracer.close()
-            if self.status_server is not None:
-                self.status_server.close()
-                self.status_server = None
+        # 2. Explore for one round of virtual time.
+        work_before = {w.worker_id: (w.stats.useful_instructions,
+                                     w.stats.replay_instructions)
+                       for w in self.workers}
+        self._explore_round()
+        work_delta = {
+            w.worker_id: (
+                w.stats.useful_instructions - work_before[w.worker_id][0],
+                w.stats.replay_instructions - work_before[w.worker_id][1])
+            for w in self.workers if w.worker_id in work_before}
+        useful_delta = sum(d[0] for d in work_delta.values()) + sum(
+            w.stats.useful_instructions for w in self.workers
+            if w.worker_id not in work_before)
+        replay_delta = sum(d[1] for d in work_delta.values()) + sum(
+            w.stats.replay_instructions for w in self.workers
+            if w.worker_id not in work_before)
+        detail = {
+            w.worker_id: {
+                "useful": work_delta.get(w.worker_id, (0, 0))[0],
+                "replay": work_delta.get(w.worker_id, (0, 0))[1],
+                "queue": w.queue_length}
+            for w in self.workers}
+        return RoundWork(useful_delta=useful_delta, replay_delta=replay_delta,
+                         states_transferred=states_transferred, detail=detail)
 
-    def _run(self, lim: ExplorationLimits,
-             resume_from: Optional[Union[ClusterCheckpoint, str]]
-             ) -> ClusterResult:
-        if resume_from is not None:
-            self._restore(resume_from)
-        max_rounds, target_coverage_percent = lim.max_rounds, lim.coverage_target
-        max_paths, stop_on_first_bug = lim.max_paths, lim.stop_on_first_bug
-        max_wall_time, max_instructions = lim.max_wall_time, lim.max_instructions
-        config = self.config
-        limit = max_rounds if max_rounds is not None else config.max_rounds
-        line_count = self.workers[0].executor.program.line_count
-        result = ClusterResult(num_workers=config.num_workers,
-                               line_count=line_count)
-        start = time.monotonic()
-        self._run_started = start
-        instructions_executed = 0
-        self.autoscaler = (Autoscaler(config.autoscale)
-                           if config.autoscale is not None else None)
-        tracer = self.tracer
-        tracer.emit(trace_schema.RUN_STARTED, backend=self.backend_name,
-                    workers=len(self.workers), line_count=line_count,
-                    resumed_from_round=self._resumed_from_round)
-        traced_bugs = 0
+    def _status_phase(self, round_index: int) -> None:
+        for worker in self.workers:
+            worker.send_status(self.transport, round_index)
+        for message in self.transport.receive_all(LOAD_BALANCER_ID):
+            if message.kind != MessageKind.STATUS_UPDATE:
+                continue
+            merged_bits = self.load_balancer.receive_status(
+                worker_id=message.sender,
+                queue_length=int(message.payload["queue_length"]),
+                useful_instructions=int(message.payload["useful_instructions"]),
+                coverage_bits=int(message.payload["coverage_bits"]),
+                round_index=round_index)
+            self.transport.send(Message(
+                kind=MessageKind.COVERAGE_UPDATE,
+                sender=LOAD_BALANCER_ID,
+                recipient=message.sender,
+                payload={"coverage_bits": merged_bits}))
 
-        round_index = 0
-        while round_index < limit:
-            if self.round_hook is not None:
-                self.round_hook(round_index, self)
-            if self.autoscaler is not None:
-                self.autoscaler(round_index, self)
-            self._advance_drains()
-            self._peak_workers = max(self._peak_workers, len(self.workers))
-            balancing = self._balancing_active(round_index)
-            # Unified checkpoint cadence across backends: a snapshot lands
-            # after every checkpoint_every *completed* rounds.
-            checkpoint_due = bool(
-                config.checkpoint_every
-                and (round_index + 1) % config.checkpoint_every == 0)
-            self.transport.advance_round()
+    def _dispatch_transfer(self, command: TransferCommand,
+                           result: ClusterResult, round_index: int) -> int:
+        # The request is queued on the virtual fabric; the states it moves
+        # are counted in the round that delivers the JOB_TRANSFER message.
+        result.transfer_commands += 1
+        self.tracer.emit(trace_schema.JOB_TRANSFERRED, round=round_index,
+                         source=command.source,
+                         destination=command.destination,
+                         jobs=command.job_count)
+        self.transport.send(Message(
+            kind=MessageKind.TRANSFER_REQUEST,
+            sender=LOAD_BALANCER_ID,
+            recipient=command.source,
+            payload={"destination": command.destination,
+                     "job_count": command.job_count}))
+        return 0
 
-            # 1. Deliver pending messages (job transfers, coverage, requests).
-            states_transferred = 0
-            for worker in self.workers:
-                states_transferred += worker.handle_messages(self.transport)
+    # -- observation hooks ---------------------------------------------------------------
 
-            # 2. Explore for one round of virtual time.
-            work_before = {w.worker_id: (w.stats.useful_instructions,
-                                         w.stats.replay_instructions)
-                           for w in self.workers}
-            self._explore_round()
-            work_delta = {
-                w.worker_id: (
-                    w.stats.useful_instructions - work_before[w.worker_id][0],
-                    w.stats.replay_instructions - work_before[w.worker_id][1])
-                for w in self.workers if w.worker_id in work_before}
-            useful_delta = sum(d[0] for d in work_delta.values()) + sum(
-                w.stats.useful_instructions for w in self.workers
-                if w.worker_id not in work_before)
-            replay_delta = sum(d[1] for d in work_delta.values()) + sum(
-                w.stats.replay_instructions for w in self.workers
-                if w.worker_id not in work_before)
-            instructions_executed += useful_delta + replay_delta
+    def _covered_line_count(self) -> int:
+        return len(self._all_covered_lines())
 
-            # 3. Status updates to the LB and balancing decisions.
-            if round_index % config.status_update_interval == 0:
-                for worker in self.workers:
-                    worker.send_status(self.transport, round_index)
-                for message in self.transport.receive_all(LOAD_BALANCER_ID):
-                    if message.kind != MessageKind.STATUS_UPDATE:
-                        continue
-                    merged_bits = self.load_balancer.receive_status(
-                        worker_id=message.sender,
-                        queue_length=int(message.payload["queue_length"]),
-                        useful_instructions=int(message.payload["useful_instructions"]),
-                        coverage_bits=int(message.payload["coverage_bits"]),
-                        round_index=round_index)
-                    self.transport.send(Message(
-                        kind=MessageKind.COVERAGE_UPDATE,
-                        sender=LOAD_BALANCER_ID,
-                        recipient=message.sender,
-                        payload={"coverage_bits": merged_bits}))
-            if balancing and round_index % config.balance_interval == 0:
-                for command in self.load_balancer.balance(round_index):
-                    result.transfer_commands += 1
-                    tracer.emit(trace_schema.JOB_TRANSFERRED, round=round_index,
-                                source=command.source,
-                                destination=command.destination,
-                                jobs=command.job_count)
-                    self.transport.send(Message(
-                        kind=MessageKind.TRANSFER_REQUEST,
-                        sender=LOAD_BALANCER_ID,
-                        recipient=command.source,
-                        payload={"destination": command.destination,
-                                 "job_count": command.job_count}))
+    def _paths_completed(self) -> int:
+        return (self._base_paths
+                + sum(w.paths_completed for w in self._members()))
 
-            # 4. Record the round.
-            covered = self._all_covered_lines()
-            coverage_percent = 100.0 * len(covered) / line_count if line_count else 0.0
-            paths_completed = (self._base_paths
-                               + sum(w.paths_completed
-                                     for w in self._members()))
-            bugs_found = sum(len(w.bugs) for w in self._members())
-            elapsed = time.monotonic() - start
-            result.timeline.record(RoundSnapshot(
-                round_index=round_index,
-                queue_lengths={w.worker_id: w.queue_length for w in self.workers},
-                total_candidates=self._total_candidates(),
-                states_transferred=states_transferred,
-                useful_instructions=useful_delta,
-                replay_instructions=replay_delta,
-                covered_lines=len(covered),
-                coverage_percent=coverage_percent,
-                paths_completed=paths_completed,
-                bugs_found=bugs_found,
-                load_balancing_enabled=balancing,
-                num_workers=len(self.workers),
-                elapsed=elapsed,
-            ))
-            result.total_states_transferred += states_transferred
-            if tracer.enabled:
-                if bugs_found > traced_bugs:
-                    tracer.emit(trace_schema.BUG_FOUND, round=round_index,
-                                bugs=bugs_found, new=bugs_found - traced_bugs)
-                    traced_bugs = bugs_found
-                tracer.emit(
-                    trace_schema.ROUND_COMPLETED, round=round_index,
-                    elapsed=round(elapsed, 6),
-                    coverage_percent=round(coverage_percent, 3),
-                    covered_lines=len(covered), paths=paths_completed,
-                    candidates=self._total_candidates(),
-                    workers=len(self.workers),
-                    useful=useful_delta, replay=replay_delta,
-                    transferred=states_transferred,
-                    queues={w.worker_id: w.queue_length for w in self.workers},
-                    workers_detail={
-                        w.worker_id: {
-                            "useful": work_delta.get(w.worker_id, (0, 0))[0],
-                            "replay": work_delta.get(w.worker_id, (0, 0))[1],
-                            "queue": w.queue_length}
-                        for w in self.workers})
-            if self.status_server is not None:
-                self.status_server.update({
-                    "backend": self.backend_name,
-                    "round": round_index,
-                    "elapsed": round(elapsed, 3),
-                    "coverage_percent": round(coverage_percent, 3),
-                    "covered_lines": len(covered),
-                    "paths_completed": paths_completed,
-                    "bugs_found": bugs_found,
-                    "candidates": self._total_candidates(),
-                    "live_workers": [w.worker_id for w in self.workers],
-                    "draining_workers": [w.worker_id for w in self._draining],
-                    "queues": {w.worker_id: w.queue_length
-                               for w in self.workers},
-                })
-            round_index += 1
+    def _bugs_found(self) -> int:
+        return sum(len(w.bugs) for w in self._members())
 
-            # 4b. Periodic checkpoint (between rounds, after status merge).
-            if checkpoint_due:
-                self._write_checkpoint(round_index)
-                tracer.emit(trace_schema.CHECKPOINT_WRITTEN, round=round_index,
-                            path=config.checkpoint_path)
+    def _work_idle(self) -> bool:
+        return self.transport.work_idle
 
-            # 5. Termination checks.
-            if target_coverage_percent is not None and coverage_percent >= target_coverage_percent:
-                result.goal_reached = True
-                break
-            if max_paths is not None and paths_completed >= max_paths:
-                result.goal_reached = True
-                break
-            if stop_on_first_bug and bugs_found:
-                result.goal_reached = True
-                break
-            if self._total_candidates() == 0 and self.transport.work_idle:
-                result.exhausted = True
-                break
-            # Budget limits (spent, not reached: goal_reached stays False).
-            if max_instructions is not None and instructions_executed >= max_instructions:
-                break
-            if max_wall_time is not None and time.monotonic() - start >= max_wall_time:
-                break
+    # -- finalization hooks --------------------------------------------------------------
 
-        # Cumulative across resume_from= segments: the checkpoint carries the
-        # wall time already spent, this run adds its own elapsed time.
-        result.wall_time = self._base_wall + (time.monotonic() - start)
-        final = self._finalize(result, round_index)
-        if tracer.enabled:
-            tracer.emit(trace_schema.SOLVER_QUERY,
-                        **{k: v for k, v in final.cache_stats.items()
-                           if isinstance(v, int) and v})
-            tracer.emit(trace_schema.RUN_FINISHED, rounds=final.rounds_executed,
-                        paths=final.paths_completed,
-                        coverage_percent=round(final.coverage_percent, 3),
-                        bugs=len(final.bugs),
-                        useful=final.total_useful_instructions,
-                        replay=final.total_replay_instructions,
-                        exhausted=final.exhausted,
-                        goal_reached=final.goal_reached,
-                        wall_time=round(final.wall_time, 6))
-        return final
+    def _collect_finals(self, result: ClusterResult) -> List[MemberFinal]:
+        return [MemberFinal(
+            worker_id=worker.worker_id,
+            paths_completed=worker.paths_completed,
+            useful_instructions=worker.stats.useful_instructions,
+            replay_instructions=worker.stats.replay_instructions,
+            covered_lines=set(worker.executor.covered_lines),
+            bugs=list(worker.bugs),
+            test_cases=list(worker.test_cases),
+            stats=worker.stats,
+            cache_counters=worker.executor.solver.cache_counters(),
+            latency=worker.executor.solver.query_seconds,
+        ) for worker in self._members()]
 
-    def _finalize(self, result: ClusterResult, rounds: int) -> ClusterResult:
-        members = self._members()
-        result.num_workers = len(self.workers)
-        result.rounds_executed = rounds
-        result.resumed_from_round = self._resumed_from_round
-        result.workers_added = self._workers_added
-        result.workers_removed = self._workers_removed
-        result.peak_workers = max(self._peak_workers, len(self.workers))
-        result.paths_completed = (self._base_paths
-                                  + sum(w.paths_completed for w in members))
-        result.total_useful_instructions = self._base_useful + sum(
-            w.stats.useful_instructions for w in members)
-        result.total_replay_instructions = self._base_replay + sum(
-            w.stats.replay_instructions for w in members)
-        result.covered_lines = self._all_covered_lines()
-        result.coverage_percent = (100.0 * len(result.covered_lines) / result.line_count
-                                   if result.line_count else 0.0)
-        all_bugs: List[BugReport] = list(self._base_bugs)
-        result.test_cases.extend(self._base_tests)
-        for worker in members:
-            all_bugs.extend(worker.bugs)
-            result.test_cases.extend(worker.test_cases)
-            result.worker_stats[worker.worker_id] = worker.stats
-        result.bugs = _dedupe_bugs(all_bugs)
-        result.jobs_recovered = sum(
-            w.stats.jobs_recovered for w in members)
+    def _finalize_extras(self, result: ClusterResult,
+                         finals: List[MemberFinal]) -> None:
+        result.jobs_recovered = sum(f.stats.jobs_recovered for f in finals)
         result.messages_sent = self.transport.messages_sent
-        result.transfer_cost = TransferCost.from_worker_stats(
-            result.worker_stats.values())
-        result.cache_stats = aggregate_cache_counters(
-            w.executor.solver.cache_counters() for w in members)
-        return result
 
     # -- invariants (used by the test suite) -------------------------------------------------
 

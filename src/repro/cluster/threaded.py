@@ -55,11 +55,9 @@ class ThreadedCloud9Cluster(Cloud9Cluster):
         for future in futures:
             future.result()
 
-    def run(self, *args, **kwargs):
-        try:
-            return super().run(*args, **kwargs)
-        finally:
-            self.close()
+    def _teardown_run(self) -> None:
+        super()._teardown_run()
+        self.close()
 
     def close(self) -> None:
         if self._pool is not None:

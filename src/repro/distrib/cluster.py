@@ -21,13 +21,15 @@ with two carriers, selected by ``ProcessClusterConfig(transport=...)``:
   dead), so a SIGKILLed or partitioned remote agent is detected without an
   OS-level oracle and recovered through the same ledger machinery below.
 
-The coordinator keeps the virtual-time round structure of
-:class:`~repro.cluster.coordinator.Cloud9Cluster` so results are directly
-comparable across backends: each round it commands every worker process to
-explore one instruction budget (the processes run concurrently on real
-cores), collects their status updates, runs the balancing algorithm, and
-brokers any job transfers synchronously before the next round.  The returned
-:class:`~repro.cluster.coordinator.ClusterResult` has the same timeline,
+The round protocol itself -- virtual-time rounds, status collection,
+balancing, checkpoint cadence, termination, result finalization -- is the
+shared :class:`~repro.cluster.core.CoordinatorCore` engine, the same one
+driving the in-process backends, so results are directly comparable across
+backends by construction.  This module contributes the process half: each
+round the hooks command every worker process to explore one instruction
+budget (the processes run concurrently on real cores), collect their status
+replies, and broker job transfers synchronously before the next round.  The
+returned :class:`~repro.cluster.core.ClusterResult` has the same timeline,
 worker stats, transfer-cost and cache-stats fields as the in-process
 clusters.
 
@@ -39,8 +41,8 @@ coordinator marks it dead, re-materializes its territory as path-encoded
 jobs (fencing off subtrees that live workers own), requeues them to the
 survivors, and -- under ``ProcessClusterConfig(respawn=True)`` -- spawns a
 replacement instead of raising.  Workers may also join and leave voluntarily
-between rounds (:meth:`ProcessCloud9Cluster.add_worker` /
-:meth:`~ProcessCloud9Cluster.remove_worker`), and periodic
+between rounds (:meth:`~repro.cluster.core.CoordinatorCore.add_worker` /
+:meth:`~repro.cluster.core.CoordinatorCore.remove_worker`), and periodic
 :class:`~repro.cluster.checkpoint.ClusterCheckpoint` snapshots let a killed
 run resume (``run(resume_from=...)``) instead of restarting.
 """
@@ -50,15 +52,22 @@ from __future__ import annotations
 import multiprocessing
 import time
 from dataclasses import dataclass
-from typing import Callable, Dict, List, Optional, Set, Tuple, Union
+from typing import Dict, List, Optional, Set, Tuple, Union
 
-from repro.cluster.autoscale import AutoscalePolicy, Autoscaler
+from repro.cluster.autoscale import AutoscalePolicy
 from repro.cluster.checkpoint import ClusterCheckpoint
-from repro.cluster.coordinator import ClusterResult, _dedupe_bugs
+from repro.cluster.core import (
+    ClusterResult,
+    CoordinatorCore,
+    MemberFailure,
+    MemberFinal,
+    RoundWork,
+    _dedupe_bugs,
+)
 from repro.cluster.jobs import Job, JobTree
 from repro.cluster.ledger import FrontierLedger, RecoveryJob
 from repro.cluster.load_balancer import LoadBalancer
-from repro.cluster.stats import RoundSnapshot, TransferCost, WorkerStats
+from repro.cluster.stats import WorkerStats
 from repro.distrib.messages import (
     DrainStatusCommand,
     ErrorReply,
@@ -73,9 +82,6 @@ from repro.distrib.messages import (
     StopCommand,
 )
 from repro.distrib.worker import worker_main
-from repro.engine.errors import BugReport
-from repro.engine.limits import ExplorationLimits, effective_limits
-from repro.engine.test_case import TestCase
 from repro.net.framing import DEFAULT_MAX_FRAME_SIZE
 from repro.net.heartbeat import (
     DEFAULT_HEARTBEAT_INTERVAL,
@@ -90,9 +96,6 @@ from repro.net.transport import (
     reap_process,
 )
 from repro.obs import schema as trace_schema
-from repro.obs.status import StatusServer
-from repro.obs.trace import NULL_TRACER, Tracer
-from repro.solver.cache import aggregate_cache_counters
 
 __all__ = ["ProcessClusterConfig", "ProcessCloud9Cluster", "WorkerProcessError",
            "default_start_method", "default_mp_context"]
@@ -103,13 +106,12 @@ class WorkerProcessError(RuntimeError):
     to) recover: startup failure, failure budget exhausted, or no survivors."""
 
 
-class _WorkerFailure(Exception):
+class _WorkerFailure(MemberFailure):
     """Internal: one worker process died or reported a crash."""
 
     def __init__(self, handle: "_WorkerHandle", reason: str):
-        super().__init__(reason)
+        super().__init__(handle, reason)
         self.handle = handle
-        self.reason = reason
 
 
 def default_start_method() -> str:
@@ -276,8 +278,15 @@ class _WorkerHandle:
         return getattr(self.transport, "process", None) or self.agent_process
 
 
-class ProcessCloud9Cluster:
+class ProcessCloud9Cluster(CoordinatorCore):
     """Run a registered test spec across worker processes.
+
+    The round protocol (rounds, balancing, checkpoint cadence, termination,
+    finalization) is the shared :class:`~repro.cluster.core.CoordinatorCore`
+    engine; this class supplies its hooks over command/reply messages to
+    worker processes (mp queues) or dialed-in agents (TCP), plus the
+    process-specific machinery: spawn/admit, the frontier ledger, failure
+    recovery and respawn.
 
     Parameters
     ----------
@@ -297,7 +306,8 @@ class ProcessCloud9Cluster:
                  line_count: Optional[int] = None,
                  strategy: Optional[str] = None):
         from repro.distrib import specs
-        self.config = config or ProcessClusterConfig()
+        super().__init__(config or ProcessClusterConfig())
+        self.config: ProcessClusterConfig
         self.spec_name = spec_name
         self.spec_params = dict(spec_params or {})
         # Validate the spec (and its arguments' picklability matters only in
@@ -315,61 +325,27 @@ class ProcessCloud9Cluster:
         self.messages_sent = 0
         #: Which execution-tree territory each worker owns (for recovery).
         self.ledger = FrontierLedger()
-        #: Optional callback invoked at the start of every round as
-        #: ``round_hook(round_index, cluster)`` -- the supported place to
-        #: exercise elastic membership or inject failures mid-run.
-        self.round_hook: Optional[
-            Callable[[int, "ProcessCloud9Cluster"], None]] = None
-        #: The Autoscaler driving the current run (None unless
-        #: ``config.autoscale`` is set; fresh per ``run()`` call).
-        self.autoscaler: Optional[Autoscaler] = None
-        #: Most recent checkpoint written by this run (None until the first).
-        self.last_checkpoint: Optional[ClusterCheckpoint] = None
         self._next_worker_id = 1
         self._pending_recovery: List[RecoveryJob] = []
         self._pending_respawns = 0
-        # Workers retiring incrementally: still processes, no longer
-        # exploring or balanced; they export drain_chunk jobs per round.
-        self._draining: List[_WorkerHandle] = []
         self._departed_finals: List[FinalReply] = []
         self._result: Optional[ClusterResult] = None
-        # Elastic-membership accounting (reported on ClusterResult).
-        self._workers_added = 0
-        self._workers_removed = 0
-        self._peak_workers = 0
-        # Carried-over counters when resuming from a checkpoint.
-        self._base_paths = 0
-        self._base_useful = 0
-        self._base_replay = 0
-        self._base_wall = 0.0
-        self._base_covered: Set[int] = set()
-        self._base_bugs: List[BugReport] = []
-        self._base_tests: List[TestCase] = []
-        self._resumed_from_round: Optional[int] = None
-        self._run_started = 0.0
+        self._round_statuses: Dict[int, StatusReply] = {}
+        self._heartbeat_misses = 0
+        self._agents_reconnected = 0
+        # Dead workers' last-known cache counters: the run's cache aggregate
+        # must include members that never finalized.
+        self._failed_cache_counters: Dict[int, Dict[str, int]] = {}
         # TCP transport: workers are agents that dial into this listener.
         # Created eagerly so ``listen_address`` is known (and printable, and
         # dialable) before ``run()`` blocks waiting for agents.
-        self._heartbeat_misses = 0
-        self._agents_reconnected = 0
-        #: Structured-event trace of the current run (a no-op tracer unless
-        #: ``run()`` was given ``ExplorationLimits.trace_path``).
-        self.tracer = NULL_TRACER
-        #: Live status endpoint (``config.status_listen``); None when off.
-        self.status_server: Optional[StatusServer] = None
-        # Dead workers' last-known cache counters (satellite of the trace
-        # work: the aggregate must include members that never finalized).
-        self._failed_cache_counters: Dict[int, Dict[str, int]] = {}
         self.server: Optional[AgentServer] = None
         if self.config.transport == "tcp":
             self._open_server()
 
     @property
-    def status_address(self) -> Optional[Tuple[str, int]]:
-        """``(host, port)`` of the live status server, or None when off."""
-        if self.status_server is None:
-            return None
-        return self.status_server.address
+    def backend_name(self) -> str:
+        return "tcp" if self.config.transport == "tcp" else "process"
 
     # -- process / agent management ----------------------------------------------------
 
@@ -685,23 +661,17 @@ class ProcessCloud9Cluster:
             if report is not None:
                 report.queue_length = handle.queue_length
 
-    # -- elastic membership (§2.3: workers join and leave mid-run) -----------------------
+    # -- membership hooks (§2.3: workers join and leave mid-run) -------------------------
 
-    @property
-    def live_worker_ids(self) -> List[int]:
-        """Ids of the live (exploring) members, excluding draining ones."""
-        return [h.worker_id for h in self.handles]
+    def _live_members(self) -> List[_WorkerHandle]:
+        return self.handles
 
-    def add_worker(self) -> int:
-        """Join a fresh worker; the load balancer will feed it.
-
-        Callable between rounds (e.g. from ``round_hook``) while the cluster
-        is running.  On the mp transport this forks a new worker process; on
-        the TCP transport it admits the next dialed-in agent from the
-        pending-connections pool (spawning a loopback agent first under
-        ``spawn_local_agents=True``) -- which is how the autoscaler scales
-        against a pool of standby remote hosts.  Returns the new worker id.
-        """
+    def _admit_member(self) -> _WorkerHandle:
+        """Join a fresh worker (``add_worker``): fork a new worker process
+        on the mp transport, or admit the next dialed-in agent on TCP
+        (spawning a loopback agent first under ``spawn_local_agents=True``)
+        -- which is how the autoscaler scales against a pool of standby
+        remote hosts."""
         if not self.handles:
             raise RuntimeError("add_worker() requires a running cluster "
                                "(call it from round_hook)")
@@ -716,49 +686,18 @@ class ProcessCloud9Cluster:
                 "python -m repro.net.agent --connect %s:%d"
                 % (self.server.address + self.server.address))
         try:
-            handle = self._spawn_worker()
+            return self._spawn_worker()
         except _WorkerFailure as failure:
             # The newcomer died during startup; it owned nothing yet.
             self._cleanup_handle(failure.handle)
             raise WorkerProcessError(
                 "worker %d %s while joining"
                 % (failure.handle.worker_id, failure.reason)) from None
-        self._workers_added += 1
-        self._peak_workers = max(self._peak_workers, len(self.handles))
-        if self.tracer.enabled:
-            self.tracer.emit(trace_schema.WORKER_JOINED, worker=handle.worker_id)
-        return handle.worker_id
 
-    def remove_worker(self, worker_id: int) -> int:
-        """Start retiring a worker process, draining its frontier
-        incrementally.
+    def _purge_departing(self, member: _WorkerHandle) -> None:
+        self.load_balancer.deregister_worker(member.worker_id)
 
-        The worker immediately stops exploring and leaves the load
-        balancer's view, but keeps its process alive as a *draining* member:
-        each following round the coordinator exports at most ``drain_chunk``
-        of its jobs to the least-loaded survivor, and only once its frontier
-        is empty are its final results collected and the process stopped.
-        Removal therefore never stalls a round on a large frontier.  The
-        departed worker's results (paths, bugs, coverage, stats) still count
-        toward the final :class:`ClusterResult`.  Returns the number of jobs
-        handed over in the first drain chunk.
-        """
-        handle = next((h for h in self.handles if h.worker_id == worker_id),
-                      None)
-        if handle is None:
-            raise ValueError("no live worker with id %d" % worker_id)
-        if len(self.handles) == 1:
-            raise ValueError("cannot remove the last worker")
-        self.handles.remove(handle)
-        self._draining.append(handle)
-        self._workers_removed += 1
-        self.load_balancer.deregister_worker(worker_id)
-        if self.tracer.enabled:
-            self.tracer.emit(trace_schema.WORKER_DRAINING, worker=worker_id,
-                             queue=handle.queue_length)
-        return self._drain_handle(handle)
-
-    def _drain_handle(self, handle: _WorkerHandle) -> int:
+    def _drain_member(self, handle: _WorkerHandle) -> int:
         """Export one drain chunk from a draining worker; retire it (collect
         final results, stop the process) once its frontier is empty."""
         result = self._result
@@ -809,10 +748,6 @@ class ProcessCloud9Cluster:
             self._retire_draining(handle)
         return moved
 
-    def _advance_drains(self) -> None:
-        for handle in list(self._draining):
-            self._drain_handle(handle)
-
     def _retire_draining(self, handle: _WorkerHandle) -> None:
         """Collect a drained worker's final results and stop its process."""
         try:
@@ -826,8 +761,7 @@ class ProcessCloud9Cluster:
         self._departed_finals.append(final)
         if handle in self._draining:
             self._draining.remove(handle)
-        if self.tracer.enabled:
-            self.tracer.emit(trace_schema.WORKER_LEFT, worker=handle.worker_id)
+        self._note_member_left(handle.worker_id)
         self.ledger.forget(handle.worker_id)
         try:
             self._send(handle, StopCommand())
@@ -835,20 +769,138 @@ class ProcessCloud9Cluster:
             pass
         self._cleanup_handle(handle)
 
-    # -- helpers -----------------------------------------------------------------------
+    # -- round-phase hooks ---------------------------------------------------------------
 
-    def _balancing_active(self, round_index: int) -> bool:
-        if not self.config.load_balancing_enabled:
-            return False
-        cutoff = self.config.disable_balancing_after_round
-        if cutoff is not None and round_index >= cutoff:
-            return False
-        return True
+    def _line_count(self) -> int:
+        return self.line_count
 
-    def _total_candidates(self) -> int:
-        # Draining workers' outstanding jobs count: they are still part of
-        # the global frontier (survivors receive them chunk by chunk).
-        return sum(h.queue_length for h in self.handles + self._draining)
+    def _spec_label(self) -> Optional[str]:
+        return self.spec_name
+
+    def _begin_run(self, result: ClusterResult,
+                   resume_from: Optional[Union[ClusterCheckpoint, str]]
+                   ) -> None:
+        self._result = result
+        self._failed_cache_counters = {}
+        self._round_statuses = {}
+        if self.config.transport == "tcp" and self.server is None:
+            self._open_server()  # re-running after a completed run()
+        self._start_workers()
+        self._peak_workers = max(self._peak_workers, len(self.handles))
+        if resume_from is not None:
+            self._restore(resume_from, result)
+        else:
+            # The first worker to join receives the seed job (§3.1).
+            seed_handle = self.handles[0]
+            self.ledger.acquire(seed_handle.worker_id, ())
+            try:
+                self._send(seed_handle, SeedCommand())
+                self._apply_status(seed_handle, self._receive(seed_handle))
+            except _WorkerFailure as failure:
+                self._handle_failure(failure, result)
+                self._flush_recovery(result)
+
+    def _teardown_run(self) -> None:
+        self._shutdown_workers()
+
+    def _pre_round(self, result: ClusterResult) -> None:
+        if not self.handles:
+            raise WorkerProcessError("no live workers left")
+
+    def _explore_phase(self, result: ClusterResult, round_index: int,
+                       checkpoint_due: bool) -> RoundWork:
+        # One round of exploration, concurrently across processes.  Draining
+        # members take part with a status-only heartbeat: they no longer
+        # explore, but their replies keep queue lengths fresh and carry
+        # their frontier into checkpoints.
+        round_handles = list(self.handles)
+        drain_handles = list(self._draining)
+        previous = {h.worker_id: (h.useful_instructions,
+                                  h.replay_instructions)
+                    for h in round_handles}
+        for handle in round_handles:
+            self._send(handle, ExploreCommand(
+                budget=self.config.instructions_per_round,
+                global_coverage_bits=handle.pending_coverage_bits,
+                report_frontier=checkpoint_due,
+                trace=self.tracer.enabled))
+            handle.pending_coverage_bits = None
+        for handle in drain_handles:
+            self._send(handle, DrainStatusCommand(
+                report_frontier=checkpoint_due))
+        statuses: Dict[int, StatusReply] = {}
+        work = RoundWork()
+        for handle in round_handles:
+            try:
+                status = self._receive(handle)
+            except _WorkerFailure as failure:
+                self._handle_failure(failure, result)
+                continue
+            statuses[handle.worker_id] = status
+            prev_useful, prev_replay = previous[handle.worker_id]
+            work.useful_delta += status.useful_instructions - prev_useful
+            work.replay_delta += status.replay_instructions - prev_replay
+            self._apply_status(handle, status)
+        for handle in drain_handles:
+            try:
+                status = self._receive(handle)
+            except _WorkerFailure as failure:
+                self._handle_failure(failure, result)
+                continue
+            statuses[handle.worker_id] = status
+            self._apply_status(handle, status)
+        # Requeue dead workers' territories / respawn replacements now that
+        # every outstanding command has been resolved.
+        self._flush_recovery(result)
+        for worker_id, status in statuses.items():
+            prev_u, prev_r = previous.get(
+                worker_id, (status.useful_instructions,
+                            status.replay_instructions))
+            work.detail[worker_id] = {
+                "useful": status.useful_instructions - prev_u,
+                "replay": status.replay_instructions - prev_r,
+                "queue": status.queue_length,
+            }
+        self._round_statuses = statuses
+        return work
+
+    def _status_phase(self, round_index: int) -> None:
+        # Live members only: draining workers left the balancer's view
+        # when their removal began.
+        for handle in self.handles:
+            status = self._round_statuses.get(handle.worker_id)
+            if status is None:
+                continue
+            merged_bits = self.load_balancer.receive_status(
+                worker_id=handle.worker_id,
+                queue_length=handle.queue_length,
+                useful_instructions=status.useful_instructions,
+                coverage_bits=status.coverage_bits,
+                round_index=round_index)
+            handle.pending_coverage_bits = merged_bits
+
+    def _dispatch_transfer(self, command, result: ClusterResult,
+                           round_index: int) -> int:
+        return self._execute_transfer(command, result, round_index)
+
+    def _post_balance(self, result: ClusterResult) -> None:
+        # Drain chunks move once transfers have settled the queues.
+        self._advance_drains()
+
+    def _covered_line_count(self) -> int:
+        return self.load_balancer.overlay.covered_count
+
+    def _paths_completed(self) -> int:
+        return (self._base_paths
+                + sum(h.paths_completed
+                      for h in self.handles + self._draining)
+                + sum(f.paths_completed for f in self._departed_finals))
+
+    def _bugs_found(self) -> int:
+        return sum(h.bugs_found for h in self.handles + self._draining)
+
+    def _take_checkpoint(self, round_index: int) -> None:
+        self._write_checkpoint(round_index, self._round_statuses)
 
     def _apply_status(self, handle: _WorkerHandle, status: StatusReply) -> None:
         handle.queue_length = status.queue_length
@@ -987,299 +1039,7 @@ class ProcessCloud9Cluster:
         self._base_tests = checkpoint.decode_test_cases()
         self._resumed_from_round = checkpoint.round_index
 
-    # -- main loop ---------------------------------------------------------------------
-
-    def run(self, max_rounds: Optional[int] = None,
-            target_coverage_percent: Optional[float] = None,
-            max_paths: Optional[int] = None,
-            stop_on_first_bug: bool = False,
-            max_wall_time: Optional[float] = None,
-            max_instructions: Optional[int] = None,
-            limits: Optional[ExplorationLimits] = None,
-            resume_from: Optional[Union[ClusterCheckpoint, str]] = None
-            ) -> ClusterResult:
-        """Run rounds until exhaustion, a goal, or a budget is spent.
-
-        Accepts the same ``limits`` bundle as
-        :meth:`~repro.cluster.coordinator.Cloud9Cluster.run`.
-        ``resume_from`` restores a
-        :class:`~repro.cluster.checkpoint.ClusterCheckpoint` (or a path to a
-        saved one) instead of seeding from the tree root.
-        """
-        lim = effective_limits(limits, max_rounds=max_rounds,
-                               coverage_target=target_coverage_percent,
-                               max_paths=max_paths,
-                               stop_on_first_bug=stop_on_first_bug,
-                               max_wall_time=max_wall_time,
-                               max_instructions=max_instructions)
-        tracer = Tracer(lim.trace_path) if lim.trace_path else NULL_TRACER
-        self.tracer = tracer
-        if self.config.status_listen is not None:
-            self.status_server = StatusServer(self.config.status_listen)
-        try:
-            return self._run(lim, resume_from=resume_from)
-        finally:
-            self._shutdown_workers()
-            self.tracer = NULL_TRACER
-            tracer.close()
-            if self.status_server is not None:
-                self.status_server.close()
-                self.status_server = None
-
-    def _run(self, lim: ExplorationLimits,
-             resume_from: Optional[Union[ClusterCheckpoint, str]] = None
-             ) -> ClusterResult:
-        config = self.config
-        limit = lim.max_rounds if lim.max_rounds is not None else config.max_rounds
-        result = ClusterResult(num_workers=config.num_workers,
-                               line_count=self.line_count)
-        self._result = result
-        self._failed_cache_counters = {}
-        tracer = self.tracer
-        backend = "tcp" if config.transport == "tcp" else "process"
-        start = time.monotonic()
-        self._run_started = start
-        self.autoscaler = (Autoscaler(config.autoscale)
-                           if config.autoscale is not None else None)
-        if config.transport == "tcp" and self.server is None:
-            self._open_server()  # re-running after a completed run()
-
-        self._start_workers()
-        self._peak_workers = max(self._peak_workers, len(self.handles))
-        if resume_from is not None:
-            self._restore(resume_from, result)
-        else:
-            # The first worker to join receives the seed job (§3.1).
-            seed_handle = self.handles[0]
-            self.ledger.acquire(seed_handle.worker_id, ())
-            try:
-                self._send(seed_handle, SeedCommand())
-                self._apply_status(seed_handle, self._receive(seed_handle))
-            except _WorkerFailure as failure:
-                self._handle_failure(failure, result)
-                self._flush_recovery(result)
-
-        if tracer.enabled:
-            tracer.emit(trace_schema.RUN_STARTED, backend=backend,
-                        workers=len(self.handles), test=self.spec_name,
-                        line_count=self.line_count,
-                        resumed_from_round=self._resumed_from_round)
-
-        instructions_executed = 0
-        traced_bugs = 0
-        round_index = 0
-        while round_index < limit:
-            if self.round_hook is not None:
-                self.round_hook(round_index, self)
-            if self.autoscaler is not None:
-                self.autoscaler(round_index, self)
-            if not self.handles:
-                raise WorkerProcessError("no live workers left")
-            self._peak_workers = max(self._peak_workers, len(self.handles))
-            balancing = self._balancing_active(round_index)
-            # Unified checkpoint cadence across backends: a snapshot lands
-            # after every checkpoint_every *completed* rounds.
-            checkpoint_due = bool(
-                config.checkpoint_every
-                and (round_index + 1) % config.checkpoint_every == 0)
-            failures_before = result.worker_failures
-
-            # 1. One round of exploration, concurrently across processes.
-            # Draining members take part with a zero budget: they no longer
-            # explore, but their status replies keep queue lengths fresh and
-            # carry their frontier into checkpoints.
-            round_handles = list(self.handles)
-            drain_handles = list(self._draining)
-            previous = {h.worker_id: (h.useful_instructions,
-                                      h.replay_instructions)
-                        for h in round_handles}
-            for handle in round_handles:
-                self._send(handle, ExploreCommand(
-                    budget=config.instructions_per_round,
-                    global_coverage_bits=handle.pending_coverage_bits,
-                    report_frontier=checkpoint_due,
-                    trace=tracer.enabled))
-                handle.pending_coverage_bits = None
-            for handle in drain_handles:
-                # The drain heartbeat: status only, no explore machinery
-                # (these members used to answer zero-budget explores).
-                self._send(handle, DrainStatusCommand(
-                    report_frontier=checkpoint_due))
-            statuses: Dict[int, StatusReply] = {}
-            useful_delta = 0
-            replay_delta = 0
-            for handle in round_handles:
-                try:
-                    status = self._receive(handle)
-                except _WorkerFailure as failure:
-                    self._handle_failure(failure, result)
-                    continue
-                statuses[handle.worker_id] = status
-                prev_useful, prev_replay = previous[handle.worker_id]
-                useful_delta += status.useful_instructions - prev_useful
-                replay_delta += status.replay_instructions - prev_replay
-                self._apply_status(handle, status)
-            for handle in drain_handles:
-                try:
-                    status = self._receive(handle)
-                except _WorkerFailure as failure:
-                    self._handle_failure(failure, result)
-                    continue
-                statuses[handle.worker_id] = status
-                self._apply_status(handle, status)
-            # Requeue dead workers' territories / respawn replacements now
-            # that every outstanding command has been resolved.
-            self._flush_recovery(result)
-            instructions_executed += useful_delta + replay_delta
-
-            # 2. Status updates into the load balancer + coverage merge
-            # (live members only: draining workers left the balancer's view
-            # when their removal began).
-            if round_index % config.status_update_interval == 0:
-                for handle in self.handles:
-                    status = statuses.get(handle.worker_id)
-                    if status is None:
-                        continue
-                    merged_bits = self.load_balancer.receive_status(
-                        worker_id=handle.worker_id,
-                        queue_length=handle.queue_length,
-                        useful_instructions=status.useful_instructions,
-                        coverage_bits=status.coverage_bits,
-                        round_index=round_index)
-                    handle.pending_coverage_bits = merged_bits
-
-            # 3. Balancing decisions and synchronous job transfers, then one
-            # drain chunk from every retiring member.
-            states_transferred = 0
-            if balancing and round_index % config.balance_interval == 0:
-                for command in self.load_balancer.balance(round_index):
-                    states_transferred += self._execute_transfer(
-                        command, result, round_index)
-            self._advance_drains()
-
-            # 4. Record the round.
-            covered_count = self.load_balancer.overlay.covered_count
-            coverage_percent = (100.0 * covered_count / self.line_count
-                                if self.line_count else 0.0)
-            paths_completed = (self._base_paths
-                               + sum(h.paths_completed
-                                     for h in self.handles + self._draining)
-                               + sum(f.paths_completed
-                                     for f in self._departed_finals))
-            bugs_found = sum(h.bugs_found
-                             for h in self.handles + self._draining)
-            elapsed = time.monotonic() - start
-            queues = {h.worker_id: h.queue_length for h in self.handles}
-            result.timeline.record(RoundSnapshot(
-                round_index=round_index,
-                queue_lengths=dict(queues),
-                total_candidates=self._total_candidates(),
-                states_transferred=states_transferred,
-                useful_instructions=useful_delta,
-                replay_instructions=replay_delta,
-                covered_lines=covered_count,
-                coverage_percent=coverage_percent,
-                paths_completed=paths_completed,
-                bugs_found=bugs_found,
-                load_balancing_enabled=balancing,
-                num_workers=len(self.handles),
-                elapsed=elapsed,
-            ))
-            result.total_states_transferred += states_transferred
-            if tracer.enabled:
-                if bugs_found > traced_bugs:
-                    # Key name matches the in-process coordinator's
-                    # bug_found payload (the checker holds shared events
-                    # to one schema across backends).
-                    tracer.emit(trace_schema.BUG_FOUND, round=round_index,
-                                bugs=bugs_found,
-                                new=bugs_found - traced_bugs)
-                    traced_bugs = bugs_found
-                detail = {}
-                for worker_id, status in statuses.items():
-                    prev_u, prev_r = previous.get(
-                        worker_id, (status.useful_instructions,
-                                    status.replay_instructions))
-                    detail[worker_id] = {
-                        "useful": status.useful_instructions - prev_u,
-                        "replay": status.replay_instructions - prev_r,
-                        "queue": status.queue_length,
-                    }
-                tracer.emit(trace_schema.ROUND_COMPLETED, round=round_index,
-                            elapsed=elapsed,
-                            coverage_percent=coverage_percent,
-                            covered_lines=covered_count,
-                            paths=paths_completed,
-                            candidates=self._total_candidates(),
-                            workers=len(self.handles),
-                            useful=useful_delta, replay=replay_delta,
-                            transferred=states_transferred,
-                            queues=queues, workers_detail=detail)
-            if self.status_server is not None:
-                self.status_server.update({
-                    "backend": backend,
-                    "round": round_index,
-                    "elapsed": elapsed,
-                    "coverage_percent": coverage_percent,
-                    "covered_lines": covered_count,
-                    "paths_completed": paths_completed,
-                    "bugs_found": bugs_found,
-                    "candidates": self._total_candidates(),
-                    "live_workers": len(self.handles),
-                    "draining_workers": len(self._draining),
-                    "queues": queues,
-                })
-            round_index += 1
-
-            # 4b. Periodic checkpoint.  Skipped on rounds with failures: the
-            # dead worker's frontier is mid-recovery and not yet visible in
-            # any survivor's report, so a snapshot now would lose it.
-            if checkpoint_due and result.worker_failures == failures_before:
-                self._write_checkpoint(round_index, statuses)
-                if tracer.enabled:
-                    tracer.emit(trace_schema.CHECKPOINT_WRITTEN, round=round_index,
-                                path=config.checkpoint_path)
-
-            # 5. Termination checks (same order as the in-process cluster).
-            if (lim.coverage_target is not None
-                    and coverage_percent >= lim.coverage_target):
-                result.goal_reached = True
-                break
-            if lim.max_paths is not None and paths_completed >= lim.max_paths:
-                result.goal_reached = True
-                break
-            if lim.stop_on_first_bug and bugs_found:
-                result.goal_reached = True
-                break
-            if self._total_candidates() == 0:
-                result.exhausted = True
-                break
-            # Budget limits (spent, not reached: goal_reached stays False).
-            if (lim.max_instructions is not None
-                    and instructions_executed >= lim.max_instructions):
-                break
-            if (lim.max_wall_time is not None
-                    and time.monotonic() - start >= lim.max_wall_time):
-                break
-
-        # Cumulative across resume_from= segments: the checkpoint carries the
-        # wall time already spent, this run adds its own elapsed time.
-        result.wall_time = self._base_wall + (time.monotonic() - start)
-        final = self._finalize(result, round_index)
-        if tracer.enabled:
-            tracer.emit(trace_schema.SOLVER_QUERY, **{
-                key: value for key, value in final.cache_stats.items()
-                if isinstance(value, int) and value})
-            tracer.emit(trace_schema.RUN_FINISHED, rounds=final.rounds_executed,
-                        paths=final.paths_completed,
-                        coverage_percent=final.coverage_percent,
-                        bugs=len(final.bugs),
-                        useful=final.total_useful_instructions,
-                        replay=final.total_replay_instructions,
-                        exhausted=final.exhausted,
-                        goal_reached=final.goal_reached,
-                        wall_time=final.wall_time)
-        return final
+    # -- transfers and finalization ------------------------------------------------------
 
     def _execute_transfer(self, command, result: ClusterResult,
                           round_index: int = 0) -> int:
@@ -1331,9 +1091,7 @@ class ProcessCloud9Cluster:
                 report.queue_length = handle.queue_length
         return imported.imported
 
-    # -- result assembly ---------------------------------------------------------------
-
-    def _finalize(self, result: ClusterResult, rounds: int) -> ClusterResult:
+    def _collect_finals(self, result: ClusterResult) -> List[MemberFinal]:
         finals: List[FinalReply] = []
         # Members still draining when the run ends are finalized like live
         # ones: their results count, and any jobs left on them were already
@@ -1346,44 +1104,29 @@ class ProcessCloud9Cluster:
                 # Too late to re-explore; keep its last-known counters.
                 self._handle_failure(failure, result, requeue=False)
         finals.extend(self._departed_finals)
+        return [MemberFinal(
+            worker_id=f.worker_id,
+            paths_completed=f.paths_completed,
+            useful_instructions=f.stats.useful_instructions,
+            replay_instructions=f.stats.replay_instructions,
+            covered_lines=set(f.covered_lines),
+            bugs=list(f.bugs),
+            test_cases=list(f.test_cases),
+            stats=f.stats,
+            cache_counters=dict(f.cache_counters),
+            latency=f.latency) for f in finals]
 
-        result.num_workers = len(self.handles) or result.num_workers
-        result.rounds_executed = rounds
-        result.resumed_from_round = self._resumed_from_round
-        result.workers_added = self._workers_added
-        result.heartbeat_misses = self._heartbeat_misses
-        result.agents_reconnected = self._agents_reconnected
-        result.workers_removed = self._workers_removed
-        result.peak_workers = max(self._peak_workers, len(self.handles))
-        result.paths_completed = (self._base_paths
-                                  + sum(f.paths_completed for f in finals))
-        result.total_useful_instructions = self._base_useful + sum(
-            f.stats.useful_instructions for f in finals)
-        result.total_replay_instructions = self._base_replay + sum(
-            f.stats.replay_instructions for f in finals)
-        covered: Set[int] = set(self._base_covered)
-        all_bugs: List[BugReport] = list(self._base_bugs)
-        result.test_cases.extend(self._base_tests)
-        for final in finals:
-            covered.update(final.covered_lines)
-            all_bugs.extend(final.bugs)
-            result.test_cases.extend(final.test_cases)
-            result.worker_stats[final.worker_id] = final.stats
-        result.covered_lines = covered
-        result.coverage_percent = (100.0 * len(covered) / result.line_count
-                                   if result.line_count else 0.0)
-        result.bugs = _dedupe_bugs(all_bugs)
-        result.messages_sent = self.messages_sent
-        result.transfer_cost = TransferCost.from_worker_stats(
-            result.worker_stats.values())
+    def _orphan_cache_counters(self, finalized_ids: Set[int]
+                               ) -> List[Dict[str, int]]:
         # Dead workers never sent a FinalReply; their last piggybacked
         # counters (from the status replies) still enter the aggregate so
         # the run's cache hit rates reflect the whole fleet.
-        finalized_ids = {f.worker_id for f in finals}
-        counter_maps = [f.cache_counters for f in finals]
-        counter_maps.extend(
-            counters
-            for worker_id, counters in self._failed_cache_counters.items()
-            if worker_id not in finalized_ids)
-        result.cache_stats = aggregate_cache_counters(counter_maps)
-        return result
+        return [counters
+                for worker_id, counters in self._failed_cache_counters.items()
+                if worker_id not in finalized_ids]
+
+    def _finalize_extras(self, result: ClusterResult,
+                         finals: List[MemberFinal]) -> None:
+        result.heartbeat_misses = self._heartbeat_misses
+        result.agents_reconnected = self._agents_reconnected
+        result.messages_sent = self.messages_sent

@@ -21,6 +21,7 @@ from typing import Dict, List, Optional, Set, Tuple
 from repro.cluster.stats import WorkerStats
 from repro.engine.errors import BugReport
 from repro.engine.test_case import TestCase
+from repro.obs.metrics import Histogram
 
 __all__ = [
     "SeedCommand", "ExploreCommand", "DrainStatusCommand", "ExportCommand",
@@ -173,6 +174,10 @@ class FinalReply:
     bugs: List[BugReport] = field(default_factory=list)
     test_cases: List[TestCase] = field(default_factory=list)
     cache_counters: Dict[str, int] = field(default_factory=dict)
+    #: The worker solver's query-latency histogram (bounded reservoir, a
+    #: few KB), merged coordinator-side into the run-level p50/p99 on the
+    #: final ``solver_query`` trace event.
+    latency: Optional[Histogram] = None
 
 
 @dataclass(frozen=True)

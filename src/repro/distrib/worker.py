@@ -156,6 +156,7 @@ class DistribWorker:
             bugs=list(worker.bugs),
             test_cases=list(worker.test_cases),
             cache_counters=worker.executor.solver.cache_counters(),
+            latency=worker.executor.solver.query_seconds,
         )
 
 

@@ -61,7 +61,9 @@ __all__ = [
 #: reason instead of desynchronizing mid-run.
 #: v2: ExploreCommand.trace, DrainStatusCommand, StatusReply events and
 #: cache_counters (the observability message set).
-PROTOCOL_VERSION = 2
+#: v3: FinalReply.latency -- the worker solver's query-latency histogram,
+#: so the run-level solver_query p50/p99 covers process/tcp workers too.
+PROTOCOL_VERSION = 3
 
 
 # -- handshake messages ------------------------------------------------------------------

@@ -10,8 +10,9 @@ those shapes.  :class:`MetricsRegistry` gives them one home:
 * :class:`Counter` / :class:`Gauge` are single mutable cells with a public
   ``value``; hot paths hold a direct reference and do ``counter.value += 1``
   -- exactly the cost of the attribute bump they replace.
-* :class:`Histogram` keeps count/total/min/max (enough for the latency
-  summaries the report renders) without storing samples.
+* :class:`Histogram` keeps count/total/min/max plus a small bounded,
+  deterministically-decimated sample reservoir, so percentile queries
+  (p50/p99 for solver latency and round wall time) cost O(1) memory.
 * :meth:`MetricsRegistry.snapshot` returns a plain ``{name: number}`` dict,
   which is what trace events, the status server and ``cache_counters()``
   style aggregation all consume.
@@ -24,7 +25,7 @@ call site while the same number is visible through the registry.
 
 from __future__ import annotations
 
-from typing import Dict, Iterator, Optional, Union
+from typing import Dict, Iterator, List, Optional, Union
 
 __all__ = ["Counter", "Gauge", "Histogram", "MetricsRegistry", "CounterField",
            "bind_counters", "counter_fields"]
@@ -69,14 +70,20 @@ class Gauge:
 
 
 class Histogram:
-    """Sample-free distribution summary: count, total, min, max.
+    """Bounded distribution summary: count, total, min, max, percentiles.
 
-    Enough to report mean round wall time or span durations without
-    holding per-sample memory on a run that executes millions of
-    instructions.
+    Exact count/total/min/max plus a sample reservoir capped at
+    :attr:`SAMPLE_LIMIT`: when full it is decimated by dropping every
+    other retained sample and doubling the keep-stride, so long runs keep
+    a deterministic, evenly-spaced subsample (no RNG -- replay-safe) at
+    O(1) memory.  Percentiles are computed from the reservoir; with up to
+    ``SAMPLE_LIMIT`` samples they are exact, beyond that approximate.
     """
 
-    __slots__ = ("name", "count", "total", "min", "max")
+    SAMPLE_LIMIT = 512
+
+    __slots__ = ("name", "count", "total", "min", "max", "_samples",
+                 "_stride")
 
     def __init__(self, name: str):
         self.name = name
@@ -84,6 +91,8 @@ class Histogram:
         self.total = 0.0
         self.min: Optional[float] = None
         self.max: Optional[float] = None
+        self._samples: List[float] = []
+        self._stride = 1
 
     def observe(self, value: float) -> None:
         self.count += 1
@@ -92,10 +101,51 @@ class Histogram:
             self.min = value
         if self.max is None or value > self.max:
             self.max = value
+        if (self.count - 1) % self._stride == 0:
+            self._samples.append(value)
+            if len(self._samples) > self.SAMPLE_LIMIT:
+                self._samples = self._samples[::2]
+                self._stride *= 2
 
     @property
     def mean(self) -> float:
         return self.total / self.count if self.count else 0.0
+
+    def percentile(self, q: float) -> Optional[float]:
+        """The q-th percentile (0..100) from the retained samples.
+
+        Linear interpolation between closest ranks; ``None`` when nothing
+        has been observed yet.
+        """
+        if not self._samples:
+            return None
+        ordered = sorted(self._samples)
+        if len(ordered) == 1:
+            return ordered[0]
+        rank = (max(0.0, min(100.0, q)) / 100.0) * (len(ordered) - 1)
+        lower = int(rank)
+        upper = min(lower + 1, len(ordered) - 1)
+        fraction = rank - lower
+        return ordered[lower] + (ordered[upper] - ordered[lower]) * fraction
+
+    def merge_from(self, other: "Histogram") -> None:
+        """Fold another histogram's observations into this one.
+
+        Used by the in-process coordinator to aggregate per-worker solver
+        latency into one run-level distribution.
+        """
+        if other.count == 0:
+            return
+        self.count += other.count
+        self.total += other.total
+        if other.min is not None and (self.min is None or other.min < self.min):
+            self.min = other.min
+        if other.max is not None and (self.max is None or other.max > self.max):
+            self.max = other.max
+        self._samples.extend(other._samples)
+        while len(self._samples) > self.SAMPLE_LIMIT:
+            self._samples = self._samples[::2]
+            self._stride *= 2
 
     def summary(self) -> Dict[str, float]:
         return {

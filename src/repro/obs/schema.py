@@ -107,7 +107,7 @@ RUN_FINISHED = _event(
     "run_finished",
     required=("paths", "coverage_percent", "bugs", "exhausted", "wall_time"),
     optional=("rounds", "steps", "instructions", "useful", "replay",
-              "goal_reached"),
+              "goal_reached", "round_time_p50", "round_time_p99"),
     shared=True)
 
 BUG_FOUND = _event(

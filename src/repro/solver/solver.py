@@ -18,6 +18,7 @@ terminates quickly; a configurable step budget bounds pathological cases.
 from __future__ import annotations
 
 import enum
+import time
 from dataclasses import dataclass
 from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
@@ -127,6 +128,9 @@ class Solver:
         #: worker's accounting snapshots as one flat dict.
         self.metrics = metrics or MetricsRegistry()
         self.stats = SolverStats(registry=self.metrics)
+        #: Per-query latency distribution (p50/p99 surfaced in the
+        #: coordinator's ``solver_query`` trace event).
+        self.query_seconds = self.metrics.histogram("solver_query_seconds")
         self._cache = ConstraintCache(registry=self.metrics)
         self._cex_cache = CounterexampleCache(registry=self.metrics)
         # Recently found models: checking a new query against them is far
@@ -170,6 +174,13 @@ class Solver:
         share no symbols: all-SAT models merge into one model, any UNSAT
         group refutes the query, and an undecided group leaves it UNKNOWN.
         """
+        started = time.monotonic()
+        try:
+            return self._check(constraints)
+        finally:
+            self.query_seconds.observe(time.monotonic() - started)
+
+    def _check(self, constraints: Iterable[Expr]) -> Tuple[SolverResult, Optional[Model]]:
         self.stats.queries += 1
         simplified: List[Expr] = []
         for c in constraints:

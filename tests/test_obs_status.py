@@ -5,7 +5,11 @@ import socket
 
 import pytest
 
+from repro.cluster import ClusterConfig, ThreadedCloud9Cluster
 from repro.obs.status import StatusServer, parse_status_address, read_status
+from repro.testing import SymbolicTest
+
+from conftest import branchy_program
 
 
 class TestParseAddress:
@@ -64,3 +68,50 @@ class TestStatusServer:
         address = server.address
         server.close()
         assert read_status(address, timeout=0.5) is None
+
+
+class TestInProcessBackendsServeStatus:
+    """``status_listen=`` works on every backend through the shared core
+    (it used to be a process-backend-only feature)."""
+
+    def _build(self, cluster_class=None):
+        test = SymbolicTest("branchy", branchy_program(3))
+        config = ClusterConfig(num_workers=2, instructions_per_round=40,
+                               status_listen="127.0.0.1:0")
+        return test.build_cluster(config, cluster_class=cluster_class)
+
+    def _run_and_snapshot(self, cluster):
+        seen = {}
+
+        def hook(round_index, cl):
+            if round_index == 2 and not seen:
+                seen.update(read_status(cl.status_address) or {})
+
+        cluster.round_hook = hook
+        cluster.run(max_rounds=10)
+        return seen
+
+    def test_cluster_backend_serves_live_status(self):
+        cluster = self._build()
+        seen = self._run_and_snapshot(cluster)
+        assert seen["backend"] == "cluster"
+        assert seen["round"] >= 0
+        assert seen["live_workers"] == 2  # an int count, as on process
+        assert seen["draining_workers"] == 0
+        assert isinstance(seen["queues"], dict)
+        # Torn down with the run, exactly like the tracer.
+        assert cluster.status_address is None
+
+    def test_threaded_backend_serves_live_status(self):
+        cluster = self._build(cluster_class=ThreadedCloud9Cluster)
+        seen = self._run_and_snapshot(cluster)
+        assert seen["backend"] == "threaded"
+        assert seen["live_workers"] == 2
+        assert cluster.status_address is None
+
+    def test_no_listener_without_status_listen(self):
+        test = SymbolicTest("branchy", branchy_program(2))
+        cluster = test.build_cluster(ClusterConfig(num_workers=2))
+        assert cluster.status_address is None
+        cluster.run(max_rounds=5)
+        assert cluster.status_address is None
