@@ -9,17 +9,31 @@ invariants *statically* -- pure :mod:`ast`, no imports of the analyzed
 code -- so the CI gate runs in milliseconds and works on any parseable
 tree (including test fixtures that are not importable packages).
 
+Since PR 10 the checkers share a whole-program index
+(:mod:`repro.analysis.program`): one parse of the tree with import
+resolution, class/method tables, attribute typing, and a cross-module
+call resolver, so the rules below are program-level invariants rather
+than per-file lints.
+
 Checker families (see each module's docstring for the rule catalog):
 
 =========  ==========================================================
 ``PROTO``  wire-protocol lock: message classes vs ``PROTOCOL_VERSION``
-           and the committed ``protocol.lock.json``
+           and the committed ``protocol.lock.json``; semver rule
+           (``PROTOCOL_COMPAT_VERSION`` floor, additive-only
+           compatible bumps)
 ``TRACE``  tracer emit sites vs the declared schema registry
            (:mod:`repro.obs.schema`)
 ``CONC``   blocking calls under held locks; lock-acquisition-order
-           cycles across the module graph
+           cycles over the cross-module call graph
 ``DET``    unseeded RNGs, wall clocks, and set-iteration order feeding
            schedule/solver decisions
+``DISP``   dispatch exhaustiveness: every wire message has an
+           ``isinstance`` handler arm, no arm references an
+           unregistered message (:mod:`repro.analysis.dispatch`)
+``CORE``   cluster-backend hook contracts: shells implement the
+           ``@backend_hook`` surface and never shadow core-owned
+           methods (:mod:`repro.analysis.hooks`)
 =========  ==========================================================
 
 Run it with ``python -m repro.analysis [--baseline FILE] [PATHS...]``;
@@ -31,9 +45,11 @@ comment.
 from repro.analysis.baseline import apply_baseline, load_baseline, write_baseline
 from repro.analysis.cli import main, run_analysis
 from repro.analysis.core import Finding, SourceModule, load_modules
+from repro.analysis.program import ProjectIndex
 
 __all__ = [
     "Finding",
+    "ProjectIndex",
     "SourceModule",
     "apply_baseline",
     "load_baseline",

@@ -3,24 +3,29 @@
 Usage::
 
     python -m repro.analysis [PATHS...]            # check (default: src)
+    python -m repro.analysis --json                # machine-readable findings
     python -m repro.analysis --update-lock         # regenerate protocol.lock.json
     python -m repro.analysis --write-baseline      # adopt current findings
 
 Exit codes: 0 clean (or everything grandfathered), 1 findings, 2 usage
-errors.  The CI gate runs the first form plus ``--update-lock`` followed
-by ``git diff --exit-code`` on the lock file.
+errors.  The CI gate runs the ``--json`` form (turning findings into
+inline annotations) plus ``--update-lock`` followed by
+``git diff --exit-code`` on the lock file.
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import os
 import sys
 from typing import List, Optional, Sequence
 
 from repro.analysis import baseline as baseline_module
-from repro.analysis import concurrency, determinism, protocol, traceschema
+from repro.analysis import concurrency, determinism, dispatch, hooks
+from repro.analysis import protocol, traceschema
 from repro.analysis.core import Finding, filter_suppressed, load_modules
+from repro.analysis.program import ProjectIndex
 
 __all__ = ["main", "run_analysis"]
 
@@ -29,10 +34,12 @@ DEFAULT_LOCK = "protocol.lock.json"
 
 #: checker-id prefix -> family description (for --select validation).
 CHECKER_FAMILIES = {
-    "PROTO": "wire-protocol lock (messages vs PROTOCOL_VERSION)",
+    "PROTO": "wire-protocol lock (messages vs PROTOCOL_VERSION, semver)",
     "TRACE": "trace-event schema registry drift",
-    "CONC": "blocking calls under locks, lock-order cycles",
+    "CONC": "blocking calls under locks, cross-module lock-order cycles",
     "DET": "nondeterminism in schedule/solver decision paths",
+    "DISP": "wire-message dispatch exhaustiveness",
+    "CORE": "cluster-backend hook contracts (CoordinatorCore surface)",
     "ANA": "analysis infrastructure (unparseable files)",
 }
 
@@ -43,6 +50,7 @@ def run_analysis(paths: Sequence[str], lock_path: str = DEFAULT_LOCK,
     (before baseline filtering, after inline-ignore filtering)."""
     modules, findings = load_modules(paths)
     families = {f.upper() for f in select} if select else None
+    index = ProjectIndex(modules)
 
     def wanted(prefix: str) -> bool:
         return families is None or prefix in families
@@ -52,9 +60,13 @@ def run_analysis(paths: Sequence[str], lock_path: str = DEFAULT_LOCK,
     if wanted("TRACE"):
         findings.extend(traceschema.check(modules))
     if wanted("CONC"):
-        findings.extend(concurrency.check(modules))
+        findings.extend(concurrency.check(modules, index))
     if wanted("DET"):
         findings.extend(determinism.check(modules))
+    if wanted("DISP"):
+        findings.extend(dispatch.check(modules, index))
+    if wanted("CORE"):
+        findings.extend(hooks.check(modules, index))
     findings = filter_suppressed(modules, findings)
     findings.sort(key=lambda f: (f.path, f.line, f.checker, f.message))
     return findings
@@ -86,6 +98,9 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     parser.add_argument("--select", metavar="FAMILIES",
                         help="comma-separated checker families to run "
                              "(%s)" % ", ".join(sorted(CHECKER_FAMILIES)))
+    parser.add_argument("--json", action="store_true", dest="as_json",
+                        help="emit findings as JSON on stdout (same exit "
+                             "codes); for CI annotation tooling")
     args = parser.parse_args(argv)
 
     paths = args.paths or ["src"]
@@ -112,10 +127,24 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             print("error: no wire-message modules found under %s"
                   % ", ".join(paths), file=sys.stderr)
             return 2
-        protocol.write_lock(lock_data, args.lock)
-        print("wrote %s: protocol version %s, %d message classes"
-              % (args.lock, lock_data["protocol_version"],
-                 len(lock_data["messages"])))
+        previous = protocol.load_lock(args.lock)
+        lock, breaking = protocol.build_lock(lock_data, previous)
+        if breaking:
+            print("refusing to update %s: breaking change(s) at a "
+                  "compatible version bump [PROTO004]" % args.lock,
+                  file=sys.stderr)
+            for change in breaking:
+                print("  - %s" % change, file=sys.stderr)
+            print("advance %s to %s (dropping old agents) or make the "
+                  "change additive"
+                  % (protocol.COMPAT_CONSTANT, lock["protocol_version"]),
+                  file=sys.stderr)
+            return 1
+        protocol.write_lock(lock, args.lock)
+        print("wrote %s: protocol version %s (compat floor %s), "
+              "%d message classes"
+              % (args.lock, lock["protocol_version"],
+                 lock["compat_version"], len(lock["messages"])))
         for finding in parse_findings:
             print(finding.render(), file=sys.stderr)
         return 0
@@ -134,6 +163,23 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         entries = baseline_module.load_baseline(args.baseline)
         findings, suppressed, stale = baseline_module.apply_baseline(
             findings, entries)
+
+    if args.as_json:
+        print(json.dumps({
+            "findings": [{
+                "checker": f.checker,
+                "path": f.path,
+                "line": f.line,
+                "message": f.message,
+                "hint": f.hint,
+                "context": f.context,
+                "fingerprint": f.fingerprint(),
+            } for f in findings],
+            "count": len(findings),
+            "suppressed": suppressed,
+            "stale": stale,
+        }, indent=2, sort_keys=True))
+        return 1 if findings else 0
 
     for finding in findings:
         print(finding.render())

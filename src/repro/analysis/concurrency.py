@@ -18,6 +18,13 @@ rules are cross-file conventions no tool checked until now:
 ``CONC003``
     The inter-module lock-acquisition graph has a cycle -- two code paths
     that take the same locks in opposite orders are a deadlock candidate.
+    Call edges are resolved through the whole-program index
+    (:class:`repro.analysis.program.ProjectIndex`): ``self.method()``
+    through the MRO with abstract hooks expanded to their in-tree
+    overrides, typed-attribute receivers (``self.transport.send()``
+    follows the annotation on the constructor parameter), and imported
+    functions -- so a coordinator->transport inversion two modules apart
+    still closes the cycle.
 
 Lock identification is heuristic but strict enough to be quiet: a ``with``
 context is a lock when its expression resolves to a ``threading.Lock/
@@ -38,6 +45,7 @@ from repro.analysis.core import (
     enclosing_context,
     qualname_index,
 )
+from repro.analysis.program import ProjectIndex
 
 __all__ = ["check"]
 
@@ -150,12 +158,27 @@ def _blocking_reason(node: ast.Call) -> Optional[str]:
     return None
 
 
-def check(modules: List[SourceModule]) -> List[Finding]:
+def check(modules: List[SourceModule],
+          index: Optional[ProjectIndex] = None) -> List[Finding]:
+    if index is None:
+        index = ProjectIndex(modules)
     findings: List[Finding] = []
     known_lock_attrs = _collect_lock_attrs(modules)
     functions: Dict[str, _FunctionInfo] = {}
     #: (outer lock, inner lock, path, line) lexical nesting edges.
     edges: Dict[Tuple[str, str], Tuple[str, int, str]] = {}
+
+    def resolve_calls(module: SourceModule, qualname: str,
+                      func_node: Optional[ast.AST],
+                      call_func: ast.AST) -> List[str]:
+        """Cross-module callee keys, with the old same-module fallback."""
+        keys = index.callees(module, qualname, func_node, call_func)
+        if keys:
+            return keys
+        legacy = _resolve_callee(call_func, qualname)
+        if legacy:
+            return ["%s::%s" % (module.path, legacy)]
+        return []
 
     def is_lock_expr(expr: ast.AST) -> bool:
         chain = attr_chain(expr)
@@ -166,14 +189,14 @@ def check(modules: List[SourceModule]) -> List[Finding]:
         return chain.split(".")[-1] in known_lock_attrs
 
     def scan_module(module: SourceModule) -> None:
-        index = qualname_index(module)
+        index_names = qualname_index(module)
 
         def walk(node: ast.AST, held: Tuple[str, ...],
                  function: Optional[_FunctionInfo]) -> None:
             for child in ast.iter_child_nodes(node):
                 if isinstance(child, (ast.FunctionDef, ast.AsyncFunctionDef)):
                     info = _FunctionInfo(
-                        qualname=index.get(child, child.name),
+                        qualname=index_names.get(child, child.name),
                         module=module, node=child)
                     functions["%s::%s" % (module.path, info.qualname)] = info
                     # A nested def's body runs later; locks held here are
@@ -230,11 +253,9 @@ def check(modules: List[SourceModule]) -> List[Finding]:
                                  "between attempts",
                             context=(function.qualname if function else "")))
                     if function is not None:
-                        callee = _resolve_callee(child.func,
-                                                 function.qualname)
-                        if callee:
-                            function.calls.add(
-                                "%s::%s" % (module.path, callee))
+                        function.calls.update(resolve_calls(
+                            module, function.qualname, function.node,
+                            child.func))
                 walk(child, held + tuple(acquired), function)
 
         walk(module.tree, (), None)
@@ -262,13 +283,14 @@ def check(modules: List[SourceModule]) -> List[Finding]:
         return total
 
     def scan_module_calls(module: SourceModule) -> None:
-        index = qualname_index(module)
+        index_names = qualname_index(module)
 
         def walk_calls(node: ast.AST, held: Tuple[str, ...],
-                       context: str) -> None:
+                       context: str, func_node: Optional[ast.AST]) -> None:
             for child in ast.iter_child_nodes(node):
                 if isinstance(child, (ast.FunctionDef, ast.AsyncFunctionDef)):
-                    walk_calls(child, (), index.get(child, child.name))
+                    walk_calls(child, (), index_names.get(child, child.name),
+                               child)
                     continue
                 acquired: List[str] = []
                 if isinstance(child, (ast.With, ast.AsyncWith)):
@@ -280,18 +302,17 @@ def check(modules: List[SourceModule]) -> List[Finding]:
                             acquired.append(
                                 _lock_identity(module, context, target))
                 if held and isinstance(child, ast.Call):
-                    callee = _resolve_callee(child.func, context)
-                    if callee:
-                        for inner in locks_of(
-                                "%s::%s" % (module.path, callee), set()):
+                    for callee in resolve_calls(module, context, func_node,
+                                                child.func):
+                        for inner in locks_of(callee, set()):
                             for outer in held:
                                 if outer != inner:
                                     edges.setdefault(
                                         (outer, inner),
                                         (module.path, child.lineno, context))
-                walk_calls(child, held + tuple(acquired), context)
+                walk_calls(child, held + tuple(acquired), context, func_node)
 
-        walk_calls(module.tree, (), "")
+        walk_calls(module.tree, (), "", None)
 
     for module in modules:
         scan_module_calls(module)

@@ -1,0 +1,148 @@
+"""DISP: dispatch exhaustiveness for the wire-message protocol.
+
+The command/reply protocol is dispatched by ``isinstance`` ladders -- in
+``DistribWorker.handle``, ``worker_main``, the agent loop, and the
+coordinator's receive sites.  Adding a message without teaching a loop
+about it fails silently: the worker raises a generic ``TypeError`` at
+fleet scale, or a mis-typed reply surfaces as an ``AttributeError`` three
+frames later.  These checks make the dispatch surface total:
+
+``DISP001``
+    A wire message (a ``*Command``/``*Reply`` dataclass in the messages
+    module, or a ``*Message`` handshake dataclass in the transport
+    module) has no ``isinstance`` handler arm anywhere outside its
+    defining module.  Only enforced once the tree dispatches at least one
+    wire message -- a fixture tree that defines messages but no loops is
+    not a finding.
+``DISP002``
+    An ``isinstance`` arm resolves into a wire-message module but no such
+    class is defined there: the handler references an unregistered (or
+    renamed) message type and its arm is dead code.
+
+Registry membership mirrors :mod:`repro.analysis.protocol`: modules are
+matched by path suffix, so fixture trees written under ``src/repro/...``
+participate.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, List, Optional, Set, Tuple
+
+from repro.analysis.core import (
+    Finding,
+    SourceModule,
+    attr_chain,
+    enclosing_context,
+)
+from repro.analysis.program import ProjectIndex
+from repro.analysis.protocol import MESSAGE_MODULES, VERSION_MODULE
+
+__all__ = ["check"]
+
+#: Class-name suffixes that make a dataclass in a wire module a message.
+_WIRE_SUFFIXES = ("Command", "Reply")
+_HANDSHAKE_SUFFIX = "Message"
+
+
+def _is_dataclass(node: ast.ClassDef) -> bool:
+    for decorator in node.decorator_list:
+        target = decorator.func if isinstance(decorator, ast.Call) \
+            else decorator
+        if attr_chain(target).split(".")[-1] == "dataclass":
+            return True
+    return False
+
+
+def _wire_modules(modules: List[SourceModule]
+                  ) -> Dict[str, SourceModule]:
+    """Path-suffix matched wire modules present in this tree."""
+    found: Dict[str, SourceModule] = {}
+    for module in modules:
+        for suffix in MESSAGE_MODULES:
+            if module.path.endswith(suffix):
+                found[suffix] = module
+    return found
+
+
+def check(modules: List[SourceModule],
+          index: Optional[ProjectIndex] = None) -> List[Finding]:
+    if index is None:
+        index = ProjectIndex(modules)
+    wire = _wire_modules(modules)
+    if not wire:
+        return []
+
+    #: dotted class name -> (module, ClassDef) for every registered message.
+    registry: Dict[str, Tuple[SourceModule, ast.ClassDef]] = {}
+    #: dotted module names of the wire modules (arm targets resolve to these).
+    wire_module_names: Set[str] = set()
+    for suffix, module in wire.items():
+        dotted_module = index.module_name(module)
+        if dotted_module:
+            wire_module_names.add(dotted_module)
+        is_handshake = suffix == VERSION_MODULE
+        for node in module.tree.body:
+            if not isinstance(node, ast.ClassDef) or not _is_dataclass(node):
+                continue
+            if is_handshake:
+                if not node.name.endswith(_HANDSHAKE_SUFFIX):
+                    continue
+            elif not node.name.endswith(_WIRE_SUFFIXES):
+                continue
+            info = index.class_of(module, node.name)
+            dotted = info.dotted if info is not None \
+                else "%s.%s" % (dotted_module, node.name)
+            registry[dotted] = (module, node)
+
+    #: dotted class name -> arm sites outside the defining module.
+    handled: Dict[str, List[Tuple[SourceModule, int]]] = {}
+    findings: List[Finding] = []
+
+    for module in modules:
+        for node in ast.walk(module.tree):
+            if not (isinstance(node, ast.Call)
+                    and isinstance(node.func, ast.Name)
+                    and node.func.id == "isinstance"
+                    and len(node.args) == 2):
+                continue
+            targets = node.args[1].elts \
+                if isinstance(node.args[1], ast.Tuple) else [node.args[1]]
+            for target in targets:
+                chain = attr_chain(target)
+                if not chain or chain.startswith("<"):
+                    continue
+                resolved = index.resolve(module, chain)
+                if not resolved:
+                    continue
+                owner = resolved.rsplit(".", 1)[0]
+                if owner not in wire_module_names:
+                    continue
+                if resolved in registry:
+                    if registry[resolved][0].path != module.path:
+                        handled.setdefault(resolved, []).append(
+                            (module, node.lineno))
+                else:
+                    findings.append(Finding(
+                        "DISP002", module.path, node.lineno,
+                        "handler arm references unregistered message type "
+                        "%s (not defined in %s)"
+                        % (chain, owner),
+                        hint="register the message as a dataclass in the "
+                             "wire module, or delete the dead arm",
+                        context=enclosing_context(module, node)))
+
+    # DISP001 only once there is a dispatch surface to be exhaustive over.
+    if handled:
+        for dotted in sorted(registry):
+            if dotted in handled:
+                continue
+            module, node = registry[dotted]
+            findings.append(Finding(
+                "DISP001", module.path, node.lineno,
+                "wire message %s has no isinstance handler arm in any "
+                "dispatch loop" % node.name.split(".")[-1],
+                hint="add a handler arm (worker/agent/coordinator receive "
+                     "loop) or remove the unused message",
+                context=node.name))
+    return findings

@@ -43,9 +43,13 @@ from __future__ import annotations
 
 import time
 from dataclasses import dataclass
-from typing import Callable, List, Optional, Tuple
+from typing import TYPE_CHECKING, Callable, List, Optional, Tuple
 
 from repro.obs import schema as trace_schema
+
+if TYPE_CHECKING:  # import-time cycle: core.py imports this module
+    from repro.cluster.core import CoordinatorCore
+    from repro.cluster.load_balancer import LoadBalancer
 
 __all__ = ["AutoscalePolicy", "Autoscaler"]
 
@@ -97,12 +101,14 @@ class AutoscalePolicy:
             raise ValueError("scale_step must be at least 1")
 
     @classmethod
-    def coerce(cls, value) -> Optional["AutoscalePolicy"]:
+    def coerce(cls, value: object) -> Optional["AutoscalePolicy"]:
         """Normalize a config's ``autoscale`` field: ``None`` passes through,
         ``True`` means the default policy, anything else must already be an
         :class:`AutoscalePolicy`.  Shared by both cluster configs so the
         accepted spellings cannot diverge between backends."""
-        if value is None or isinstance(value, cls):
+        if value is None:
+            return None
+        if isinstance(value, cls):
             return value
         if value is True:
             return cls()
@@ -164,11 +170,11 @@ class Autoscaler:
         # job fanning out) and must not read as "workers are idle".
         self._cooldown_left = self.policy.cooldown_rounds
 
-    def install(self, cluster) -> "Autoscaler":
+    def install(self, cluster: "CoordinatorCore") -> "Autoscaler":
         """Chain this autoscaler after the cluster's existing round hook."""
         previous = cluster.round_hook
 
-        def hook(round_index: int, cl) -> None:
+        def hook(round_index: int, cl: "CoordinatorCore") -> None:
             if previous is not None:
                 previous(round_index, cl)
             self(round_index, cl)
@@ -176,7 +182,7 @@ class Autoscaler:
         cluster.round_hook = hook
         return self
 
-    def __call__(self, round_index: int, cluster) -> None:
+    def __call__(self, round_index: int, cluster: "CoordinatorCore") -> None:
         now = self._clock()
         round_wall = (now - self._last_tick
                       if self._last_tick is not None else None)
@@ -212,7 +218,8 @@ class Autoscaler:
 
     # -- actions -----------------------------------------------------------------------
 
-    def _grow(self, round_index: int, cluster, num_live: int) -> None:
+    def _grow(self, round_index: int, cluster: "CoordinatorCore",
+              num_live: int) -> None:
         added = 0
         for _ in range(self.policy.scale_step):
             if num_live + added >= self.policy.max_workers:
@@ -231,7 +238,8 @@ class Autoscaler:
             self.decisions.append((round_index, "grow", added))
             self._trace(cluster, round_index, "grow", added)
 
-    def _shrink(self, round_index: int, cluster, balancer) -> None:
+    def _shrink(self, round_index: int, cluster: "CoordinatorCore",
+                balancer: "LoadBalancer") -> None:
         removed = 0
         for _ in range(self.policy.scale_step):
             live = list(cluster.live_worker_ids)
@@ -248,7 +256,8 @@ class Autoscaler:
             self._trace(cluster, round_index, "shrink", removed)
 
     @staticmethod
-    def _trace(cluster, round_index: int, action: str, count: int) -> None:
+    def _trace(cluster: "CoordinatorCore", round_index: int, action: str,
+               count: int) -> None:
         """Record the decision on the cluster's trace (no-op when untraced;
         both cluster front ends carry a ``tracer``)."""
         tracer = getattr(cluster, "tracer", None)

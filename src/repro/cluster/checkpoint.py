@@ -21,7 +21,7 @@ from __future__ import annotations
 
 import json
 from dataclasses import asdict, dataclass, field
-from typing import Dict, List, Optional, Tuple, Union
+from typing import Any, Dict, List, Optional, Set, Tuple, Union
 
 from repro.engine.errors import BugKind, BugReport
 from repro.engine.test_case import TestCase
@@ -51,10 +51,10 @@ class ClusterCheckpoint:
     #: Bug reports found before the snapshot, JSON-encoded via
     #: :meth:`encode_bug` (the nested test case, if any, is dropped; the
     #: generated inputs live in ``test_cases``).
-    bug_reports: List[Dict[str, object]] = field(default_factory=list)
+    bug_reports: List[Dict[str, Any]] = field(default_factory=list)
     #: Generated test cases (concrete inputs) found before the snapshot,
     #: JSON-encoded via :meth:`encode_test_case`.
-    test_cases: List[Dict[str, object]] = field(default_factory=list)
+    test_cases: List[Dict[str, Any]] = field(default_factory=list)
     #: Per-worker counter snapshots (informational; not restored into workers).
     worker_stats: Dict[int, Dict[str, int]] = field(default_factory=dict)
     #: Search-strategy seeds per worker, recorded so an identical cluster can
@@ -164,6 +164,6 @@ class ClusterCheckpoint:
             return 0.0
         return 100.0 * bin(self.coverage_bits).count("1") / self.line_count
 
-    def covered_lines(self) -> set:
+    def covered_lines(self) -> Set[int]:
         return {i for i in range(self.line_count)
                 if self.coverage_bits >> i & 1}

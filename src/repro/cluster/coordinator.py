@@ -26,7 +26,7 @@ from typing import Callable, Dict, List, Optional, Set, Tuple, Union
 from repro.cluster.autoscale import AutoscalePolicy
 from repro.cluster.checkpoint import ClusterCheckpoint
 from repro.cluster.core import (ClusterResult, CoordinatorCore, MemberFinal,
-                                RoundWork, _dedupe_bugs)
+                                RoundWork, _dedupe_bugs, backend_hook)
 from repro.cluster.jobs import Job, JobTree
 from repro.cluster.load_balancer import LoadBalancer, TransferCommand
 from repro.cluster.transport import LOAD_BALANCER_ID, Message, MessageKind, Transport
@@ -320,6 +320,7 @@ class Cloud9Cluster(CoordinatorCore):
             covered.update(worker.executor.covered_lines)
         return covered
 
+    @backend_hook
     def _explore_round(self) -> None:
         """Step every busy worker by one round's instruction budget.
 

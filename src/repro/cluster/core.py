@@ -51,7 +51,22 @@ from repro.solver.cache import aggregate_cache_counters
 
 __all__ = ["Member", "MemberFailure", "MemberFinal", "RoundWork",
            "CoordinatorConfig", "CoordinatorCore", "ClusterResult",
-           "_dedupe_bugs"]
+           "backend_hook", "_dedupe_bugs"]
+
+_Hook = Callable[..., Any]
+
+
+def backend_hook(method: _Hook) -> _Hook:
+    """Mark a method as part of the backend hook surface.
+
+    The core owns the round protocol; backends may only override methods
+    carrying this marker.  The ``CORE`` checker family
+    (:mod:`repro.analysis.hooks`) enforces both directions statically:
+    a concrete backend must implement every abstract hook, and must never
+    shadow an un-marked (core-owned) method.
+    """
+    setattr(method, "__backend_hook__", True)
+    return method
 
 
 class Member(Protocol):
@@ -625,23 +640,28 @@ class CoordinatorCore:
     # -- backend hooks -------------------------------------------------------------------
     # Membership/construction hooks: how members are made, found and retired.
 
+    @backend_hook
     def _live_members(self) -> List[Member]:
         """The live (exploring) members, excluding draining ones."""
         raise NotImplementedError
 
+    @backend_hook
     def _admit_member(self) -> Member:
         """Construct, register and coverage-prime one new member."""
         raise NotImplementedError
 
+    @backend_hook
     def _detach_member(self, member: Member) -> None:
         """Remove a member from the live list (about to start draining)."""
         self._live_members().remove(member)
 
+    @backend_hook
     def _purge_departing(self, member: Member) -> None:
         """Purge a newly-draining member from the balancer's view (and
         re-route anything in flight to it)."""
         raise NotImplementedError
 
+    @backend_hook
     def _drain_member(self, member: Any) -> int:
         """Export one drain chunk from a draining member to the
         least-loaded survivor; retire it once empty.  Returns jobs moved."""
@@ -649,36 +669,44 @@ class CoordinatorCore:
 
     # Round-phase hooks: the backend-specific halves of each phase.
 
+    @backend_hook
     def _line_count(self) -> int:
         """Line count of the program under test (coverage denominator)."""
         raise NotImplementedError
 
+    @backend_hook
     def _spec_label(self) -> Optional[str]:
         """Spec name for the ``run_started`` event (None = untraced key)."""
         return None
 
+    @backend_hook
     def _begin_run(self, result: ClusterResult,
                    resume_from: Optional[Union[ClusterCheckpoint, str]]
                    ) -> None:
         """Start-of-run plumbing: spawn/seed members, restore a checkpoint."""
 
+    @backend_hook
     def _teardown_run(self) -> None:
         """End-of-run plumbing (shut down processes, thread pools, ...)."""
 
+    @backend_hook
     def _pre_round(self, result: ClusterResult) -> None:
         """Start-of-round housekeeping (advance drains, liveness checks)."""
 
+    @backend_hook
     def _explore_phase(self, result: ClusterResult, round_index: int,
                        checkpoint_due: bool) -> RoundWork:
         """Deliver pending work and explore one round's instruction budget
         on every live member; advance draining members' status."""
         raise NotImplementedError
 
+    @backend_hook
     def _status_phase(self, round_index: int) -> None:
         """Feed member status into the load balancer and push the merged
         global coverage back out (§3.3)."""
         raise NotImplementedError
 
+    @backend_hook
     def _dispatch_transfer(self, command: TransferCommand,
                            result: ClusterResult, round_index: int) -> int:
         """Act on one balancing decision.  Returns the states counted as
@@ -686,10 +714,12 @@ class CoordinatorCore:
         returns 0; the process backend executes it synchronously)."""
         raise NotImplementedError
 
+    @backend_hook
     def _post_balance(self, result: ClusterResult) -> None:
         """After balancing, before recording (the process backend advances
         drains here, once transfers have settled the queues)."""
 
+    @backend_hook
     def _work_idle(self) -> bool:
         """True when no work is hidden in the fabric (in-flight messages);
         gates the exhaustion check alongside ``_total_candidates() == 0``."""
@@ -697,15 +727,19 @@ class CoordinatorCore:
 
     # Observation hooks: the numbers the shared recorder reports.
 
+    @backend_hook
     def _covered_line_count(self) -> int:
         raise NotImplementedError
 
+    @backend_hook
     def _paths_completed(self) -> int:
         raise NotImplementedError
 
+    @backend_hook
     def _bugs_found(self) -> int:
         raise NotImplementedError
 
+    @backend_hook
     def _solver_latency(self) -> Optional[Histogram]:
         """The run-level solver-latency distribution, aggregated from
         ``MemberFinal.latency`` during :meth:`_finalize`."""
@@ -713,18 +747,22 @@ class CoordinatorCore:
 
     # Checkpoint / finalization hooks.
 
+    @backend_hook
     def _take_checkpoint(self, round_index: int) -> None:
         raise NotImplementedError
 
+    @backend_hook
     def _collect_finals(self, result: ClusterResult) -> List[MemberFinal]:
         """Every member's final accounting (live, draining and departed)."""
         raise NotImplementedError
 
+    @backend_hook
     def _orphan_cache_counters(self, finalized_ids: Set[int]
                                ) -> List[Dict[str, int]]:
         """Cache counters from members that died before finalization."""
         return []
 
+    @backend_hook
     def _finalize_extras(self, result: ClusterResult,
                          finals: List[MemberFinal]) -> None:
         """Backend-specific result fields (message counts, recovery...)."""

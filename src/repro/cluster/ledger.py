@@ -60,7 +60,7 @@ class RecoveryJob:
 class FrontierLedger:
     """Per-worker territory bookkeeping from the coordinator's vantage point."""
 
-    def __init__(self):
+    def __init__(self) -> None:
         self._owned: Dict[int, Set[Path]] = {}
         self._ceded: Dict[int, Set[Path]] = {}
 

@@ -73,9 +73,11 @@ from repro.distrib.messages import (
     ErrorReply,
     ExploreCommand,
     ExportCommand,
+    ExportReply,
     FinalizeCommand,
     FinalReply,
     ImportCommand,
+    ImportReply,
     ReadyReply,
     SeedCommand,
     StatusReply,
@@ -540,6 +542,38 @@ class ProcessCloud9Cluster(CoordinatorCore):
                     handle, "failed:\n%s" % reply.details)
             return reply
 
+    # Typed receives: a worker answering with the wrong reply class is a
+    # protocol violation, handled like any other worker failure instead of
+    # crashing the coordinator with an AttributeError three frames later.
+
+    def _receive_status(self, handle: _WorkerHandle) -> StatusReply:
+        reply = self._receive(handle)
+        if not isinstance(reply, StatusReply):
+            raise _WorkerFailure(
+                handle, "sent %r instead of StatusReply" % (reply,))
+        return reply
+
+    def _receive_export(self, handle: _WorkerHandle) -> ExportReply:
+        reply = self._receive(handle)
+        if not isinstance(reply, ExportReply):
+            raise _WorkerFailure(
+                handle, "sent %r instead of ExportReply" % (reply,))
+        return reply
+
+    def _receive_import(self, handle: _WorkerHandle) -> ImportReply:
+        reply = self._receive(handle)
+        if not isinstance(reply, ImportReply):
+            raise _WorkerFailure(
+                handle, "sent %r instead of ImportReply" % (reply,))
+        return reply
+
+    def _receive_final(self, handle: _WorkerHandle) -> FinalReply:
+        reply = self._receive(handle)
+        if not isinstance(reply, FinalReply):
+            raise _WorkerFailure(
+                handle, "sent %r instead of FinalReply" % (reply,))
+        return reply
+
     # -- fault tolerance ----------------------------------------------------------------
 
     def _live_ids(self) -> Set[int]:
@@ -646,7 +680,7 @@ class ProcessCloud9Cluster(CoordinatorCore):
                     encoded_jobs=tree.encode(),
                     fence_paths=job.fences,
                     recovered=True))
-                reply = self._receive(handle)
+                reply = self._receive_import(handle)
             except _WorkerFailure as failure:
                 # The survivor died too; its ledger now includes this job,
                 # so _handle_failure re-stages it (budget permitting).
@@ -706,7 +740,7 @@ class ProcessCloud9Cluster(CoordinatorCore):
             return 0
         try:
             self._send(handle, ExportCommand(count=self.config.drain_chunk))
-            export = self._receive(handle)
+            export = self._receive_export(handle)
         except _WorkerFailure as failure:
             # Died mid-drain: its remaining territory is recovered from the
             # ledger like any other worker death.
@@ -727,7 +761,7 @@ class ProcessCloud9Cluster(CoordinatorCore):
             try:
                 self._send(target, ImportCommand(
                     encoded_jobs=export.encoded_jobs))
-                reply = self._receive(target)
+                reply = self._receive_import(target)
             except _WorkerFailure as failure:
                 if result is not None:
                     self._handle_failure(failure, result)
@@ -752,7 +786,7 @@ class ProcessCloud9Cluster(CoordinatorCore):
         """Collect a drained worker's final results and stop its process."""
         try:
             self._send(handle, FinalizeCommand())
-            final = self._receive(handle)
+            final = self._receive_final(handle)
         except _WorkerFailure as failure:
             if self._result is not None:
                 self._handle_failure(failure, self._result)
@@ -795,7 +829,8 @@ class ProcessCloud9Cluster(CoordinatorCore):
             self.ledger.acquire(seed_handle.worker_id, ())
             try:
                 self._send(seed_handle, SeedCommand())
-                self._apply_status(seed_handle, self._receive(seed_handle))
+                self._apply_status(seed_handle,
+                                   self._receive_status(seed_handle))
             except _WorkerFailure as failure:
                 self._handle_failure(failure, result)
                 self._flush_recovery(result)
@@ -832,7 +867,7 @@ class ProcessCloud9Cluster(CoordinatorCore):
         work = RoundWork()
         for handle in round_handles:
             try:
-                status = self._receive(handle)
+                status = self._receive_status(handle)
             except _WorkerFailure as failure:
                 self._handle_failure(failure, result)
                 continue
@@ -843,7 +878,7 @@ class ProcessCloud9Cluster(CoordinatorCore):
             self._apply_status(handle, status)
         for handle in drain_handles:
             try:
-                status = self._receive(handle)
+                status = self._receive_status(handle)
             except _WorkerFailure as failure:
                 self._handle_failure(failure, result)
                 continue
@@ -1021,7 +1056,7 @@ class ProcessCloud9Cluster(CoordinatorCore):
             tree = JobTree.from_jobs([Job(p) for p in share])
             try:
                 self._send(handle, ImportCommand(encoded_jobs=tree.encode()))
-                reply = self._receive(handle)
+                reply = self._receive_import(handle)
             except _WorkerFailure as failure:
                 self._handle_failure(failure, result)
                 self._flush_recovery(result)
@@ -1054,7 +1089,7 @@ class ProcessCloud9Cluster(CoordinatorCore):
         result.transfer_commands += 1
         try:
             self._send(source, ExportCommand(count=command.job_count))
-            export = self._receive(source)
+            export = self._receive_export(source)
         except _WorkerFailure as failure:
             self.load_balancer.cancel_transfer(command)
             self._handle_failure(failure, result)
@@ -1071,7 +1106,7 @@ class ProcessCloud9Cluster(CoordinatorCore):
         try:
             self._send(destination,
                        ImportCommand(encoded_jobs=export.encoded_jobs))
-            imported = self._receive(destination)
+            imported = self._receive_import(destination)
         except _WorkerFailure as failure:
             # The jobs are in the dead destination's territory already, so
             # recovery requeues them; nothing is lost.
@@ -1099,7 +1134,7 @@ class ProcessCloud9Cluster(CoordinatorCore):
         for handle in list(self.handles) + list(self._draining):
             try:
                 self._send(handle, FinalizeCommand())
-                finals.append(self._receive(handle))
+                finals.append(self._receive_final(handle))
             except _WorkerFailure as failure:
                 # Too late to re-explore; keep its last-known counters.
                 self._handle_failure(failure, result, requeue=False)

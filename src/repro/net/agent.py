@@ -32,6 +32,7 @@ from typing import Optional, Sequence
 from repro.net.framing import DEFAULT_MAX_FRAME_SIZE
 from repro.net.heartbeat import HeartbeatSender
 from repro.net.transport import (
+    PROTOCOL_COMPAT_VERSION,
     PROTOCOL_VERSION,
     HelloMessage,
     ReceiveTimeout,
@@ -88,6 +89,13 @@ def run_agent(connect: str, spec_modules: Sequence[str] = (),
         if not isinstance(welcome, WelcomeMessage):
             raise TransportError("coordinator sent %r instead of a welcome"
                                  % (welcome,))
+        if welcome.protocol_version < PROTOCOL_COMPAT_VERSION:
+            # The mirror of the server-side window: this agent only knows
+            # how to omit fields back to its own compat floor.
+            raise AgentRejected(
+                "coordinator speaks protocol %d but this agent requires "
+                ">= %d" % (welcome.protocol_version,
+                           PROTOCOL_COMPAT_VERSION))
         transport.max_frame_size = welcome.max_frame_size
         # Pings start *before* the (possibly slow) spec rebuild, so a big
         # target cannot read as a dead newcomer.

@@ -36,6 +36,7 @@ from repro.net.heartbeat import (
     HeartbeatMonitor,
 )
 from repro.net.transport import (
+    PROTOCOL_COMPAT_VERSION,
     PROTOCOL_VERSION,
     HelloMessage,
     RejectMessage,
@@ -133,13 +134,16 @@ class AgentServer:
         transport = TcpTransport(conn, peer="agent %s" % peer,
                                  max_frame_size=self.max_frame_size)
         if (not isinstance(hello, HelloMessage)
-                or hello.protocol_version != PROTOCOL_VERSION):
+                or not (PROTOCOL_COMPAT_VERSION
+                        <= hello.protocol_version <= PROTOCOL_VERSION)):
             got = (hello.protocol_version
                    if isinstance(hello, HelloMessage) else repr(hello))
             try:
                 transport.send(RejectMessage(
-                    reason="protocol version mismatch: coordinator speaks "
-                           "%d, agent sent %s" % (PROTOCOL_VERSION, got)))
+                    reason="protocol version mismatch: coordinator accepts "
+                           "%d..%d, agent sent %s"
+                           % (PROTOCOL_COMPAT_VERSION, PROTOCOL_VERSION,
+                              got)))
             except TransportError:
                 pass
             transport.close(timeout=0)

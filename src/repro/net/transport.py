@@ -48,7 +48,7 @@ from repro.net.heartbeat import HeartbeatMonitor
 from repro.obs.metrics import MetricsRegistry
 
 __all__ = [
-    "PROTOCOL_VERSION",
+    "PROTOCOL_VERSION", "PROTOCOL_COMPAT_VERSION",
     "HelloMessage", "WelcomeMessage", "RejectMessage",
     "TransportError", "TransportClosed", "ReceiveTimeout",
     "Transport", "QueuePairTransport", "TcpTransport",
@@ -64,6 +64,15 @@ __all__ = [
 #: v3: FinalReply.latency -- the worker solver's query-latency histogram,
 #: so the run-level solver_query p50/p99 covers process/tcp workers too.
 PROTOCOL_VERSION = 3
+
+#: Oldest protocol version whose agents may still join a campaign: the
+#: coordinator admits any hello in
+#: ``[PROTOCOL_COMPAT_VERSION, PROTOCOL_VERSION]``.  A purely additive
+#: protocol change (new message fields with defaults) bumps
+#: ``PROTOCOL_VERSION`` and leaves this floor behind; a breaking change
+#: advances both.  The semver rule is enforced statically against
+#: ``protocol.lock.json`` (PROTO004, :mod:`repro.analysis.protocol`).
+PROTOCOL_COMPAT_VERSION = 3
 
 
 # -- handshake messages ------------------------------------------------------------------

@@ -33,6 +33,13 @@ single ordered file (the worker-local timestamp survives as ``wts``).
 :data:`NULL_TRACER` is the disabled path: ``enabled`` is ``False`` and
 every method is a no-op, so call sites guard hot-path payload building
 with ``if tracer.enabled:`` and pay nothing when tracing is off.
+
+Payloads can additionally be validated against the declared schema
+registry *at runtime*: pass ``validate=`` to :class:`Tracer` /
+:class:`BufferTracer`, or set ``REPRO_TRACE_VALIDATE=1`` in the
+environment to turn on :func:`schema_validator` everywhere (the tier-1 CI
+run does).  The static TRACE checkers cover literal emit sites; the
+runtime hook catches dynamically-built payloads they cannot see.
 """
 
 from __future__ import annotations
@@ -42,11 +49,46 @@ import os
 import threading
 import time
 import uuid
-from typing import Any, Dict, Iterable, List, Optional
+from typing import Any, Callable, Dict, Iterable, List, Optional
 
 from repro.obs.schema import SPAN, TRACE_EVENTS_DROPPED, WORKER_EVENT
+from repro.obs.schema import validate_keys as _schema_validate_keys
 
-__all__ = ["Tracer", "NullTracer", "NULL_TRACER", "BufferTracer", "load_trace"]
+__all__ = ["Tracer", "NullTracer", "NULL_TRACER", "BufferTracer",
+           "load_trace", "schema_validator", "TRACE_VALIDATE_ENV"]
+
+#: Environment switch: any value except "" / "0" turns on
+#: :func:`schema_validator` for every tracer constructed without an
+#: explicit ``validate=``.
+TRACE_VALIDATE_ENV = "REPRO_TRACE_VALIDATE"
+
+#: A runtime payload validator: called with ``(event, record)`` before the
+#: record is written; raises to reject it.
+Validator = Callable[[str, Dict[str, Any]], None]
+
+
+def schema_validator(event: str, record: Dict[str, Any]) -> None:
+    """Raise ``ValueError`` unless ``record`` satisfies the declared schema
+    (:mod:`repro.obs.schema`) for ``event``.  Envelope keys are exempt."""
+    problems = _schema_validate_keys(event, record.keys())
+    if problems:
+        raise ValueError("trace record for %r violates the declared "
+                         "schema: %s" % (event, "; ".join(problems)))
+
+
+def _resolve_validator(validate: Any) -> Optional[Validator]:
+    """``None`` defers to the environment switch; ``False`` forces
+    validation off, ``True`` forces the schema validator on; any other
+    value is the validator itself."""
+    if validate is None:
+        if os.environ.get(TRACE_VALIDATE_ENV, "") not in ("", "0"):
+            return schema_validator
+        return None
+    if validate is False:
+        return None
+    if validate is True:
+        return schema_validator
+    return validate
 
 
 class Tracer:
@@ -56,11 +98,16 @@ class Tracer:
     with atomic ``O_APPEND`` single-write records.  ``emit`` drops keys
     whose value is ``None`` so call sites can pass optional fields
     unconditionally.
+
+    ``validate`` is an opt-in runtime schema hook called with every
+    finished record before it is written (default: on only when
+    ``REPRO_TRACE_VALIDATE`` is set in the environment).
     """
 
     enabled = True
 
-    def __init__(self, path: str, run_id: Optional[str] = None):
+    def __init__(self, path: str, run_id: Optional[str] = None,
+                 validate: Any = None):
         self.path = str(path)
         self.run_id = run_id or uuid.uuid4().hex[:8]
         self._fd: Optional[int] = os.open(
@@ -69,6 +116,7 @@ class Tracer:
         self._lock = threading.Lock()
         self._seq = 0
         self._epoch = time.monotonic()
+        self._validate = _resolve_validator(validate)
 
     # -- core ---------------------------------------------------------------------------
 
@@ -91,6 +139,8 @@ class Tracer:
         for key, value in fields.items():
             if value is not None:
                 record[key] = value
+        if self._validate is not None:
+            self._validate(event, record)
         with self._lock:
             if self._fd is None:
                 return
@@ -215,11 +265,12 @@ class BufferTracer:
 
     enabled = True
 
-    def __init__(self, capacity: int = 10_000):
+    def __init__(self, capacity: int = 10_000, validate: Any = None):
         self.capacity = capacity
         self._events: List[Dict[str, Any]] = []
         self._dropped = 0
         self._epoch = time.monotonic()
+        self._validate = _resolve_validator(validate)
 
     def emit(self, event: str, *, worker: Optional[int] = None,
              round: Optional[int] = None, **fields: Any) -> None:
@@ -237,6 +288,8 @@ class BufferTracer:
         for key, value in fields.items():
             if value is not None:
                 record[key] = value
+        if self._validate is not None:
+            self._validate(event, record)
         self._events.append(record)
 
     def span(self, phase: str, **fields: Any) -> _Span:

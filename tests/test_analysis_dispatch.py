@@ -1,0 +1,289 @@
+"""DISP dispatch exhaustiveness, CORE hook contracts, PROTO004 semver lock."""
+
+import json
+from pathlib import Path
+
+from repro.analysis import cli
+
+from conftest import write_tree
+
+
+def _args(tmp_path, *extra):
+    return [*extra, "--baseline", str(tmp_path / "analysis_baseline.json"),
+            "--lock", str(tmp_path / "protocol.lock.json")]
+
+
+class TestDispatch:
+    FILES = {
+        "src/repro/distrib/messages.py": """\
+            from dataclasses import dataclass
+
+            @dataclass
+            class PingCommand:
+                nonce: int
+
+            @dataclass
+            class PongReply:
+                nonce: int
+        """,
+        "src/repro/distrib/worker.py": """\
+            from repro.distrib.messages import PingCommand, PongReply
+
+            def handle(command):
+                if isinstance(command, PingCommand):
+                    return PongReply(nonce=command.nonce)
+                raise TypeError(command)
+
+            def read_reply(reply):
+                if isinstance(reply, PongReply):
+                    return reply.nonce
+                raise TypeError(reply)
+        """,
+    }
+
+    def test_fully_handled_tree_is_green(self, tmp_path):
+        root = write_tree(tmp_path, self.FILES)
+        assert cli.main(_args(tmp_path, root, "--select", "DISP")) == 0
+
+    def test_unhandled_message_fails(self, tmp_path, capsys):
+        partial = dict(self.FILES)
+        partial["src/repro/distrib/worker.py"] = """\
+            from repro.distrib.messages import PingCommand
+
+            def handle(command):
+                if isinstance(command, PingCommand):
+                    return "pong"
+                raise TypeError(command)
+        """
+        root = write_tree(tmp_path, partial)
+        assert cli.main(_args(tmp_path, root, "--select", "DISP")) == 1
+        out = capsys.readouterr().out
+        assert "[DISP001]" in out
+        assert "PongReply" in out
+
+    def test_unregistered_arm_is_dead_code(self, tmp_path, capsys):
+        grown = dict(self.FILES)
+        grown["src/repro/distrib/worker.py"] = """\
+            from repro.distrib.messages import (
+                GhostCommand,
+                PingCommand,
+                PongReply,
+            )
+
+            def handle(command):
+                if isinstance(command, PingCommand):
+                    return PongReply(nonce=command.nonce)
+                if isinstance(command, GhostCommand):
+                    return None
+                raise TypeError(command)
+
+            def read_reply(reply):
+                if isinstance(reply, PongReply):
+                    return reply.nonce
+                raise TypeError(reply)
+        """
+        root = write_tree(tmp_path, grown)
+        assert cli.main(_args(tmp_path, root, "--select", "DISP")) == 1
+        out = capsys.readouterr().out
+        assert "[DISP002]" in out
+        assert "GhostCommand" in out
+
+    def test_message_only_tree_stays_quiet(self, tmp_path):
+        root = write_tree(tmp_path,
+                          {"src/repro/distrib/messages.py":
+                           self.FILES["src/repro/distrib/messages.py"]})
+        assert cli.main(_args(tmp_path, root, "--select", "DISP")) == 0
+
+
+class TestHookContract:
+    CORE = """\
+        def backend_hook(method):
+            return method
+
+        class CoordinatorCore:
+            def run(self):
+                self._advance()
+                return self._explore_phase()
+
+            def _advance(self):
+                return 1
+
+            @backend_hook
+            def _explore_phase(self):
+                raise NotImplementedError
+    """
+
+    def _tree(self, tmp_path, backend):
+        return write_tree(tmp_path, {
+            "src/repro/cluster/core.py": self.CORE,
+            "src/repro/cluster/backend.py": backend,
+        })
+
+    def test_conforming_backend_is_green(self, tmp_path):
+        root = self._tree(tmp_path, """\
+            from repro.cluster.core import CoordinatorCore
+
+            class ThreadBackend(CoordinatorCore):
+                def _explore_phase(self):
+                    return 2
+        """)
+        assert cli.main(_args(tmp_path, root, "--select", "CORE")) == 0
+
+    def test_shadowing_a_core_owned_method_fails(self, tmp_path, capsys):
+        root = self._tree(tmp_path, """\
+            from repro.cluster.core import CoordinatorCore
+
+            class ThreadBackend(CoordinatorCore):
+                def _explore_phase(self):
+                    return 2
+
+                def _advance(self):
+                    return 3
+        """)
+        assert cli.main(_args(tmp_path, root, "--select", "CORE")) == 1
+        out = capsys.readouterr().out
+        assert "[CORE002]" in out
+        assert "_advance" in out
+
+    def test_missing_abstract_hook_fails(self, tmp_path, capsys):
+        root = self._tree(tmp_path, """\
+            from repro.cluster.core import CoordinatorCore
+
+            class ThreadBackend(CoordinatorCore):
+                def setup(self):
+                    return None
+        """)
+        assert cli.main(_args(tmp_path, root, "--select", "CORE")) == 1
+        out = capsys.readouterr().out
+        assert "[CORE001]" in out
+        assert "_explore_phase" in out
+
+    def test_protocol_claim_without_member_fails(self, tmp_path, capsys):
+        root = write_tree(tmp_path, {"src/repro/cluster/member.py": """\
+            from typing import Protocol
+
+            class Member(Protocol):
+                worker_id: int
+
+                def drain(self):
+                    ...
+
+            class BadMember(Member):
+                def drain(self):
+                    return []
+        """})
+        assert cli.main(_args(tmp_path, root, "--select", "CORE")) == 1
+        out = capsys.readouterr().out
+        assert "[CORE003]" in out
+        assert "worker_id" in out
+
+
+class TestSemverLock:
+    V1 = {
+        "src/repro/distrib/messages.py": """\
+            from dataclasses import dataclass
+
+            @dataclass
+            class PingCommand:
+                nonce: int
+        """,
+        "src/repro/net/transport.py": """\
+            PROTOCOL_VERSION = 1
+            PROTOCOL_COMPAT_VERSION = 1
+        """,
+    }
+
+    RETYPED = """\
+        from dataclasses import dataclass
+
+        @dataclass
+        class PingCommand:
+            nonce: str
+    """
+
+    ADDITIVE = """\
+        from dataclasses import dataclass
+
+        @dataclass
+        class PingCommand:
+            nonce: int
+            urgent: bool = False
+    """
+
+    def _bump(self, messages_source, version=2, compat=1):
+        grown = dict(self.V1)
+        grown["src/repro/distrib/messages.py"] = messages_source
+        grown["src/repro/net/transport.py"] = (
+            "PROTOCOL_VERSION = %d\nPROTOCOL_COMPAT_VERSION = %d\n"
+            % (version, compat))
+        return grown
+
+    def test_breaking_change_at_compatible_bump_fails(self, tmp_path, capsys):
+        root = write_tree(tmp_path, self.V1)
+        assert cli.main(_args(tmp_path, root, "--update-lock")) == 0
+        capsys.readouterr()
+        # Bump to v2 while still admitting v1 agents, but retype a field --
+        # a v1 agent's pickle no longer matches.
+        write_tree(tmp_path, self._bump(self.RETYPED))
+        assert cli.main(_args(tmp_path, root)) == 1
+        out = capsys.readouterr().out
+        assert "[PROTO004]" in out
+        assert "compat floor 1" in out
+
+    def test_update_lock_refuses_the_breaking_compatible_bump(
+            self, tmp_path, capsys):
+        root = write_tree(tmp_path, self.V1)
+        assert cli.main(_args(tmp_path, root, "--update-lock")) == 0
+        capsys.readouterr()
+        write_tree(tmp_path, self._bump(self.RETYPED))
+        assert cli.main(_args(tmp_path, root, "--update-lock")) == 1
+        err = capsys.readouterr().err
+        assert "refusing" in err
+        assert "PROTO004" in err
+
+    def test_additive_bump_passes_and_tags_since(self, tmp_path, capsys):
+        root = write_tree(tmp_path, self.V1)
+        assert cli.main(_args(tmp_path, root, "--update-lock")) == 0
+        write_tree(tmp_path, self._bump(self.ADDITIVE))
+        assert cli.main(_args(tmp_path, root, "--update-lock")) == 0
+        capsys.readouterr()
+        lock = json.loads((tmp_path / "protocol.lock.json")
+                          .read_text(encoding="utf-8"))
+        assert lock["format"] == 2
+        assert lock["compat_version"] == 1
+        entry = lock["messages"]["repro.distrib.messages.PingCommand"]
+        fields = {f["name"]: f for f in entry["fields"]}
+        assert fields["urgent"]["since"] == 2
+        assert "since" not in fields["nonce"]
+        assert cli.main(_args(tmp_path, root)) == 0
+
+    def test_advancing_the_floor_folds_since_tags(self, tmp_path):
+        root = write_tree(tmp_path, self.V1)
+        assert cli.main(_args(tmp_path, root, "--update-lock")) == 0
+        write_tree(tmp_path, self._bump(self.ADDITIVE))
+        assert cli.main(_args(tmp_path, root, "--update-lock")) == 0
+        # Dropping v1 agents: the since tag has served its purpose.
+        write_tree(tmp_path, self._bump(self.ADDITIVE, version=2, compat=2))
+        assert cli.main(_args(tmp_path, root, "--update-lock")) == 0
+        lock = json.loads((tmp_path / "protocol.lock.json")
+                          .read_text(encoding="utf-8"))
+        entry = lock["messages"]["repro.distrib.messages.PingCommand"]
+        fields = {f["name"]: f for f in entry["fields"]}
+        assert "since" not in fields["urgent"]
+
+    def test_floor_above_version_is_always_wrong(self, tmp_path, capsys):
+        root = write_tree(tmp_path, self._bump(
+            self.V1["src/repro/distrib/messages.py"], version=2, compat=3))
+        assert cli.main(_args(tmp_path, root, "--select", "PROTO")) == 1
+        out = capsys.readouterr().out
+        assert "[PROTO004]" in out
+        assert "can never pass" in out
+
+
+class TestShippedLockIsSemver:
+    def test_committed_lock_is_format_2_and_floor_is_sane(self):
+        repo = Path(__file__).resolve().parent.parent
+        lock = json.loads((repo / "protocol.lock.json")
+                          .read_text(encoding="utf-8"))
+        assert lock["format"] == 2
+        assert lock["compat_version"] <= lock["protocol_version"]

@@ -1,0 +1,188 @@
+"""The whole-program index (repro.analysis.program) and cross-module CONC003."""
+
+import ast
+
+from repro.analysis import cli
+from repro.analysis.core import load_modules
+from repro.analysis.program import ProjectIndex, annotation_class
+
+from conftest import write_tree
+
+
+def _index(tmp_path, files):
+    root = write_tree(tmp_path, files)
+    modules, errors = load_modules([root])
+    assert errors == []
+    return ProjectIndex(modules)
+
+
+def _args(tmp_path, *extra):
+    return [*extra, "--baseline", str(tmp_path / "analysis_baseline.json"),
+            "--lock", str(tmp_path / "protocol.lock.json")]
+
+
+def _function(index, qualname):
+    (info,) = [f for f in index.functions.values() if f.qualname == qualname]
+    return info
+
+
+def _call_keys(index, qualname):
+    """Every callee key the index resolves for calls inside ``qualname``."""
+    info = _function(index, qualname)
+    keys = []
+    for node in ast.walk(info.node):
+        if isinstance(node, ast.Call):
+            keys.extend(index.callees(info.module, info.qualname,
+                                      info.node, node.func))
+    return keys
+
+
+class TestModuleNaming:
+    def test_src_layout_fallback(self, tmp_path):
+        index = _index(tmp_path, {"src/repro/net/transport.py": "X = 1\n"})
+        assert "repro.net.transport" in index.by_name
+
+    def test_package_markers_win_over_no_src(self, tmp_path):
+        index = _index(tmp_path, {
+            "pkg/__init__.py": "",
+            "pkg/sub/__init__.py": "",
+            "pkg/sub/mod.py": "X = 1\n",
+        })
+        assert "pkg.sub.mod" in index.by_name
+        assert "pkg.sub" in index.by_name  # the __init__.py itself
+
+
+class TestResolution:
+    FILES = {
+        "src/repro/net/transport.py": """\
+            class TcpTransport:
+                def send(self, message):
+                    return message
+        """,
+        "src/repro/distrib/cluster.py": """\
+            from repro.net.transport import TcpTransport as Chan
+
+            class Coordinator:
+                def __init__(self, transport: Chan):
+                    self._transport = transport
+
+                def push(self):
+                    self._transport.send("x")
+
+            def helper():
+                chan = Chan()
+                chan.send("y")
+        """,
+    }
+
+    def test_import_alias_resolves_to_defining_module(self, tmp_path):
+        index = _index(tmp_path, self.FILES)
+        module = index.by_name["repro.distrib.cluster"]
+        assert index.resolve(module, "Chan") \
+            == "repro.net.transport.TcpTransport"
+
+    def test_attr_type_inferred_from_annotated_ctor_param(self, tmp_path):
+        index = _index(tmp_path, self.FILES)
+        info = index.classes["repro.distrib.cluster.Coordinator"]
+        assert info.attr_types["_transport"] \
+            == "repro.net.transport.TcpTransport"
+
+    def test_typed_attribute_call_crosses_modules(self, tmp_path):
+        index = _index(tmp_path, self.FILES)
+        keys = _call_keys(index, "Coordinator.push")
+        assert any(key.endswith("::TcpTransport.send") for key in keys)
+
+    def test_constructed_local_call_crosses_modules(self, tmp_path):
+        index = _index(tmp_path, self.FILES)
+        keys = _call_keys(index, "helper")
+        assert any(key.endswith("::TcpTransport.send") for key in keys)
+
+    def test_annotation_class_unwraps_optional_and_strings(self):
+        ann = ast.parse("Optional[TcpTransport]", mode="eval").body
+        assert annotation_class(ann) == "TcpTransport"
+        ann = ast.parse("'TcpTransport'", mode="eval").body
+        assert annotation_class(ann) == "TcpTransport"
+
+
+class TestAbstractHookDispatch:
+    FILES = {
+        "src/repro/cluster/core.py": """\
+            class Core:
+                def run(self):
+                    return self._phase()
+
+                def _phase(self):
+                    raise NotImplementedError
+        """,
+        "src/repro/cluster/backend.py": """\
+            from repro.cluster.core import Core
+
+            class Backend(Core):
+                def _phase(self):
+                    return 1
+        """,
+    }
+
+    def test_abstract_call_expands_to_in_tree_overrides(self, tmp_path):
+        index = _index(tmp_path, self.FILES)
+        keys = _call_keys(index, "Core.run")
+        assert any(key.endswith("::Core._phase") for key in keys)
+        assert any(key.endswith("::Backend._phase") for key in keys)
+
+
+class TestCrossModuleLockCycle:
+    """The tentpole scenario: a coordinator->transport lock inversion where
+    each half of the cycle lives in a different module."""
+
+    FILES = {
+        "src/repro/cluster/core.py": """\
+            import threading
+
+            from repro.cluster.channel import Transport
+
+            class Coordinator:
+                def __init__(self, transport: Transport):
+                    self._round_lock = threading.Lock()
+                    self._transport = transport
+
+                def dispatch(self):
+                    with self._round_lock:
+                        self._transport.send()
+
+                def close_round(self):
+                    with self._round_lock:
+                        return None
+        """,
+        "src/repro/cluster/channel.py": """\
+            import threading
+
+            from repro.cluster.core import Coordinator
+
+            class Transport:
+                def __init__(self):
+                    self._send_lock = threading.Lock()
+
+                def send(self):
+                    with self._send_lock:
+                        return True
+
+                def flush(self, owner: Coordinator):
+                    with self._send_lock:
+                        owner.close_round()
+        """,
+    }
+
+    def test_inversion_across_modules_is_a_finding(self, tmp_path, capsys):
+        root = write_tree(tmp_path, self.FILES)
+        assert cli.main(_args(tmp_path, root, "--select", "CONC")) == 1
+        out = capsys.readouterr().out
+        assert "[CONC003]" in out
+        assert "_round_lock" in out and "_send_lock" in out
+
+    def test_consistent_order_is_green(self, tmp_path):
+        consistent = dict(self.FILES)
+        consistent["src/repro/cluster/channel.py"] = (
+            self.FILES["src/repro/cluster/channel.py"].replace(
+                "owner.close_round()", "return None"))
+        root = write_tree(tmp_path, consistent)
+        assert cli.main(_args(tmp_path, root, "--select", "CONC")) == 0

@@ -76,7 +76,9 @@ class TestRender:
 class TestCli:
     def test_text_output(self, tmp_path, capsys):
         path = tmp_path / "t.jsonl"
-        with Tracer(str(path)) as tracer:
+        # The synthetic events are deliberately minimal (old-trace compat),
+        # so keep runtime schema validation out of this writer.
+        with Tracer(str(path), validate=False) as tracer:
             for event in _synthetic_events():
                 fields = {k: v for k, v in event.items()
                           if k not in ("seq", "ts", "event", "run")}

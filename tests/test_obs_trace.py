@@ -14,10 +14,16 @@ from repro.obs.trace import (
 )
 
 
+# The mechanics tests below emit deliberately minimal payloads (they test
+# the envelope, the buffer, and crash tolerance -- not the event schemas),
+# so they opt out of runtime validation explicitly; TestRuntimeValidation
+# covers the validator itself.
+
+
 class TestTracer:
     def test_emit_envelope(self, tmp_path):
         path = tmp_path / "t.jsonl"
-        with Tracer(str(path)) as tracer:
+        with Tracer(str(path), validate=False) as tracer:
             tracer.emit("run_started", backend="single", workers=1)
             tracer.emit("round_completed", round=0, worker=3, skipme=None)
         events = load_trace(str(path))
@@ -32,15 +38,15 @@ class TestTracer:
 
     def test_truncates_previous_trace(self, tmp_path):
         path = tmp_path / "t.jsonl"
-        with Tracer(str(path)) as t:
+        with Tracer(str(path), validate=False) as t:
             t.emit("a")
-        with Tracer(str(path)) as t:
+        with Tracer(str(path), validate=False) as t:
             t.emit("b")
         assert [e["event"] for e in load_trace(str(path))] == ["b"]
 
     def test_concurrent_emit_whole_lines(self, tmp_path):
         path = tmp_path / "t.jsonl"
-        tracer = Tracer(str(path))
+        tracer = Tracer(str(path), validate=False)
 
         def hammer(i):
             for _ in range(200):
@@ -100,7 +106,7 @@ class TestNullTracer:
 
 class TestBufferTracer:
     def test_drain_returns_and_resets(self):
-        buf = BufferTracer()
+        buf = BufferTracer(validate=False)
         buf.emit("a", worker=1)
         with buf.span("explore", budget=10):
             pass
@@ -109,7 +115,7 @@ class TestBufferTracer:
         assert buf.drain() == []
 
     def test_capacity_drops_are_accounted(self):
-        buf = BufferTracer(capacity=3)
+        buf = BufferTracer(capacity=3, validate=False)
         for i in range(5):
             buf.emit("tick", round=i)
         events = buf.drain()
@@ -121,10 +127,46 @@ class TestBufferTracer:
         assert [e["event"] for e in buf.drain()] == ["after"]
 
 
+class TestRuntimeValidation:
+    def test_schema_validator_rejects_bad_payload(self, tmp_path):
+        path = tmp_path / "t.jsonl"
+        with Tracer(str(path), validate=True) as tracer:
+            with pytest.raises(ValueError, match="declared schema"):
+                tracer.emit("jobs_recovered")  # missing required "jobs"
+            tracer.emit("jobs_recovered", worker=1, jobs=3)
+        assert [e["event"] for e in load_trace(str(path))] == [
+            "jobs_recovered"]
+
+    def test_schema_validator_rejects_unknown_key(self):
+        buf = BufferTracer(validate=True)
+        with pytest.raises(ValueError, match="declared schema"):
+            buf.emit("worker_died", reason="x", draining=False, bogus=1)
+        assert buf.drain() == []
+
+    def test_env_switch_enables_validation(self, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_TRACE_VALIDATE", "1")
+        path = tmp_path / "t.jsonl"
+        with Tracer(str(path)) as tracer:
+            with pytest.raises(ValueError):
+                tracer.emit("jobs_recovered")
+        # "0" (and explicit validate=False) keep validation off.
+        monkeypatch.setenv("REPRO_TRACE_VALIDATE", "0")
+        with Tracer(str(path)) as tracer:
+            tracer.emit("jobs_recovered")
+
+    def test_custom_validator_callable(self):
+        seen = []
+        buf = BufferTracer(validate=lambda event, record:
+                           seen.append((event, dict(record))))
+        buf.emit("anything", worker=2)
+        assert seen == [("anything", {"ts": seen[0][1]["ts"],
+                                      "event": "anything", "worker": 2})]
+
+
 class TestLoadTrace:
     def test_tolerates_torn_final_line(self, tmp_path):
         path = tmp_path / "t.jsonl"
-        with Tracer(str(path)) as tracer:
+        with Tracer(str(path), validate=False) as tracer:
             tracer.emit("a")
             tracer.emit("b")
         with open(path, "a", encoding="utf-8") as fh:
